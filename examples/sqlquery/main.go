@@ -1,0 +1,94 @@
+// PDB substrate walkthrough: run uncertain SQL queries over stored
+// tables with per-world Monte Carlo evaluation (the MCDB-style engine
+// of §2.1 that Jigsaw is built around).
+//
+//	go run ./examples/sqlquery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jigsaw"
+)
+
+func main() {
+	db := jigsaw.NewDB()
+	if err := db.Boxes.Register(jigsaw.NewDemandModel()); err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic purchases table: planned orders per region.
+	purchases, err := jigsaw.NewPDBTable("region", "week", "volume")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range []struct {
+		region string
+		week   float64
+		volume float64
+	}{
+		{"east", 8, 40}, {"east", 30, 20},
+		{"west", 12, 60}, {"west", 40, 30},
+	} {
+		if err := purchases.Append(jigsaw.PDBRow{
+			jigsaw.PDBString(row.region), jigsaw.PDBFloat(row.week), jigsaw.PDBFloat(row.volume),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.CreateTable("purchases", purchases); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query 1: a FROM-less model query — the result is a distribution.
+	script, err := jigsaw.Parse(`SELECT DemandModel(@week, 20) AS demand`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := jigsaw.BuildPDBPlan(script.Selects[0], db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SELECT DemandModel(@week, 20) AS demand")
+	for _, week := range []float64{10, 30, 50} {
+		dist, err := jigsaw.RunDistribution(plan, map[string]float64{"week": week},
+			jigsaw.WorldsOptions{Worlds: 2000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := dist.CellByName(0, "demand")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  @week=%2.0f → E=%6.2f σ=%5.2f  [%.1f, %.1f]\n",
+			week, s.Mean, s.StdDev, s.Min, s.Max)
+	}
+
+	// Query 2: uncertain values joined with stored data — per-row VG
+	// noise, filtered and projected relationally.
+	script2, err := jigsaw.Parse(`
+		SELECT region, volume * DemandModel(week, 99) AS weighted
+		FROM purchases
+		WHERE volume > 25`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan2, err := jigsaw.BuildPDBPlan(script2.Selects[0], db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist2, err := jigsaw.RunDistribution(plan2, nil, jigsaw.WorldsOptions{Worlds: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSELECT region, volume * DemandModel(week, 99) FROM purchases WHERE volume > 25")
+	for i := 0; i < dist2.NumRows(); i++ {
+		s, err := dist2.CellByName(i, "weighted")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  row %d: E[weighted] = %8.1f σ = %6.1f\n", i, s.Mean, s.StdDev)
+	}
+	fmt.Printf("\n(%d possible worlds per estimate; each world re-evaluates every VG call)\n", dist2.Worlds)
+}

@@ -1,0 +1,173 @@
+package blackbox
+
+import (
+	"math"
+
+	"jigsaw/internal/rng"
+)
+
+// This file implements the cloud-infrastructure models of Fig. 6. The
+// paper replaced the Azure production constants with ad-hoc values but
+// kept model structure; these implementations do the same, with the
+// constants as exported, documented fields so experiments can sweep
+// them.
+
+// Demand is Algorithm 1 of the paper: a linearly growing Gaussian
+// demand forecast whose growth rate changes as of the feature release
+// week.
+//
+//	demand  = Normal(µ: 1·current_week, σ²: 0.1·current_week)
+//	if current_week > feature:
+//	  demand += Normal(µ: 0.2·(current_week−feature),
+//	                   σ²: 0.2·(current_week−feature))
+//
+// Arguments: (current_week, feature_release).
+type Demand struct {
+	// BaseRate is the µ growth per week (paper: 1).
+	BaseRate float64
+	// BaseVarRate is the σ² growth per week (paper: 0.1).
+	BaseVarRate float64
+	// FeatureRate is the post-release µ growth per week (paper: 0.2).
+	FeatureRate float64
+	// FeatureVarRate is the post-release σ² growth per week (paper: 0.2).
+	FeatureVarRate float64
+}
+
+// NewDemand returns the Demand model with the paper's constants.
+func NewDemand() *Demand {
+	return &Demand{BaseRate: 1, BaseVarRate: 0.1, FeatureRate: 0.2, FeatureVarRate: 0.2}
+}
+
+// Name implements Box.
+func (*Demand) Name() string { return "DemandModel" }
+
+// Arity implements Box.
+func (*Demand) Arity() int { return 2 }
+
+// Eval implements Box. Algorithm 1 adds two independent normals after
+// the release; their sum is itself normal, and the model samples that
+// exact combined distribution with a single variate. The distribution
+// is identical to the two-draw form, but every invocation consumes one
+// draw on one code path, which is what gives Demand a single basis
+// distribution for its entire parameter space (§6.2: "requires only
+// one basis distribution for its entire ∼5000 point parameter space").
+func (d *Demand) Eval(args []float64, r *rng.Rand) float64 {
+	checkArity(d.Name(), d.Arity(), args)
+	week, feature := args[0], args[1]
+	mu := d.BaseRate * week
+	variance := math.Max(0, d.BaseVarRate*week)
+	if week > feature {
+		dt := week - feature
+		mu += d.FeatureRate * dt
+		variance += math.Max(0, d.FeatureVarRate*dt)
+	}
+	return r.NormalVar(mu, variance)
+}
+
+// Capacity simulates a series of purchases, each increasing cluster
+// capacity after an exponentially distributed bring-up delay (Fig. 6).
+// Away from purchase events the output is the stable base + volume
+// sum; in the weeks following a purchase an exponentially shrinking
+// fraction of sampled worlds still lacks the new hardware — the
+// "structure" around each discontinuity discussed with Fig. 9.
+//
+// Arguments: (current_week, purchase_week_1, purchase_week_2).
+type Capacity struct {
+	// Base is the initial number of cores.
+	Base float64
+	// BaseNoise is the σ of the Gaussian measurement noise on the
+	// current capacity.
+	BaseNoise float64
+	// PurchaseVolume is the cores added per purchase.
+	PurchaseVolume float64
+	// MeanDelay is the mean of the exponential bring-up delay in
+	// weeks; it controls the structure size swept in Fig. 9.
+	MeanDelay float64
+	// FailRate is the per-week core-failure probability applied to
+	// the base pool (binomial thinning, paper's "future expected
+	// failure rates").
+	FailRate float64
+	// FailTrials is the number of failure-prone units in the base
+	// pool.
+	FailTrials int
+}
+
+// NewCapacity returns the Capacity model with ad-hoc defaults in the
+// paper's style.
+func NewCapacity() *Capacity {
+	return &Capacity{
+		Base:           100,
+		BaseNoise:      1,
+		PurchaseVolume: 40,
+		MeanDelay:      2,
+		FailRate:       0.02,
+		FailTrials:     10,
+	}
+}
+
+// Name implements Box.
+func (*Capacity) Name() string { return "CapacityModel" }
+
+// Arity implements Box.
+func (*Capacity) Arity() int { return 3 }
+
+// Eval implements Box. The random stream is consumed in a fixed order
+// (noise, failures, per-purchase delay) regardless of argument values,
+// so invocations at different parameter points stay comparable under a
+// common seed.
+func (c *Capacity) Eval(args []float64, r *rng.Rand) float64 {
+	checkArity(c.Name(), c.Arity(), args)
+	week := args[0]
+	capacity := c.Base + r.Normal(0, c.BaseNoise)
+	capacity -= float64(r.Binomial(c.FailTrials, c.FailRate))
+	for _, purchase := range args[1:] {
+		delay := r.Exponential(1 / c.MeanDelay)
+		if week >= purchase+delay {
+			capacity += c.PurchaseVolume
+		}
+	}
+	return capacity
+}
+
+// Overload is the black box synthesized from Capacity and Demand
+// (Fig. 6): Demand's feature release is ignored (pinned far in the
+// future) and the output is 1 when demand exceeds capacity, else 0.
+// Its boolean output destroys the linear structure of its inputs,
+// which is why Fig. 8 shows only ~2× gain for it (§6.2).
+//
+// Arguments: (current_week, purchase_week_1, purchase_week_2).
+type Overload struct {
+	// DemandModel and CapacityModel are the composed boxes.
+	DemandModel   *Demand
+	CapacityModel *Capacity
+	// NoFeature is the pinned feature-release week (beyond any
+	// simulated horizon).
+	NoFeature float64
+}
+
+// NewOverload composes Demand and Capacity models with demand growth
+// scaled (ad-hoc, in the paper's style) so the demand curve crosses
+// the capacity curve mid-horizon; with the stock constants demand
+// would never approach capacity and the overload indicator would be
+// degenerately zero.
+func NewOverload() *Overload {
+	demand := &Demand{BaseRate: 4, BaseVarRate: 4, FeatureRate: 0.2, FeatureVarRate: 0.2}
+	return &Overload{DemandModel: demand, CapacityModel: NewCapacity(), NoFeature: math.Inf(1)}
+}
+
+// Name implements Box.
+func (*Overload) Name() string { return "OverloadModel" }
+
+// Arity implements Box.
+func (*Overload) Arity() int { return 3 }
+
+// Eval implements Box.
+func (o *Overload) Eval(args []float64, r *rng.Rand) float64 {
+	checkArity(o.Name(), o.Arity(), args)
+	demand := o.DemandModel.Eval([]float64{args[0], o.NoFeature}, r)
+	capacity := o.CapacityModel.Eval(args, r)
+	if capacity < demand {
+		return 1
+	}
+	return 0
+}

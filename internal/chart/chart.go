@@ -1,0 +1,105 @@
+// Package chart renders series data as ASCII line charts for the
+// terminal front-ends (cmd/jigsaw GRAPH output and cmd/fuzzy-prophet),
+// standing in for the paper's Fig. 2 GUI.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	// Label names the series in the legend.
+	Label string
+	// X and Y are the data points (equal length).
+	X, Y []float64
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height are the plot area size in characters (defaults
+	// 72×20).
+	Width, Height int
+}
+
+// Render draws the series into a fixed grid with axes and a legend.
+// Series with mismatched X/Y lengths or no data are skipped with a
+// legend note rather than failing: charts are best-effort diagnostics.
+func Render(series []Series, opts Options) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	valid := make([]bool, len(series))
+	for i, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			continue
+		}
+		valid[i] = true
+		for j := range s.X {
+			minX = math.Min(minX, s.X[j])
+			maxX = math.Max(maxX, s.X[j])
+			minY = math.Min(minY, s.Y[j])
+			maxY = math.Max(maxY, s.Y[j])
+		}
+	}
+	anyValid := false
+	for _, v := range valid {
+		anyValid = anyValid || v
+	}
+	if !anyValid {
+		return "(no data)\n"
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for i, s := range series {
+		if !valid[i] {
+			continue
+		}
+		mark := markers[i%len(markers)]
+		for j := range s.X {
+			col := int((s.X[j] - minX) / (maxX - minX) * float64(w-1))
+			row := int((s.Y[j] - minY) / (maxY - minY) * float64(h-1))
+			row = h - 1 - row // invert: larger Y on top
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12.4g ┤%s\n", maxY, string(grid[0]))
+	for r := 1; r < h-1; r++ {
+		fmt.Fprintf(&b, "%12s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%12.4g ┤%s\n", minY, string(grid[h-1]))
+	fmt.Fprintf(&b, "%12s  %-*g%*g\n", "", w/2, minX, w-w/2, maxX)
+	for i, s := range series {
+		if !valid[i] {
+			fmt.Fprintf(&b, "  %c %s (no data)\n", markers[i%len(markers)], s.Label)
+			continue
+		}
+		fmt.Fprintf(&b, "  %c %s\n", markers[i%len(markers)], s.Label)
+	}
+	return b.String()
+}

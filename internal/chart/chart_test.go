@@ -1,0 +1,64 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := []Series{
+		{Label: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Label: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}
+	out := Render(s, Options{Width: 40, Height: 10})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 10 plot rows + 1 axis row + 2 legend rows.
+	if len(lines) != 13 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil, Options{}); got != "(no data)\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+	if got := Render([]Series{{Label: "x"}}, Options{}); got != "(no data)\n" {
+		t.Fatalf("data-less render = %q", got)
+	}
+}
+
+func TestRenderSkipsMismatched(t *testing.T) {
+	s := []Series{
+		{Label: "bad", X: []float64{1, 2}, Y: []float64{1}},
+		{Label: "good", X: []float64{0, 1}, Y: []float64{5, 6}},
+	}
+	out := Render(s, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "bad (no data)") {
+		t.Fatalf("mismatched series not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "good") {
+		t.Fatalf("valid series missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := []Series{{Label: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}}
+	out := Render(s, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderDefaultSize(t *testing.T) {
+	s := []Series{{Label: "l", X: []float64{0, 100}, Y: []float64{0, 1}}}
+	out := Render(s, Options{})
+	if len(out) == 0 || !strings.Contains(out, "l") {
+		t.Fatal("default-size render broken")
+	}
+}

@@ -1,0 +1,122 @@
+// Package core implements Jigsaw's primary contribution: fingerprints
+// of stochastic black-box functions, mapping functions between them,
+// fingerprint indexes, and the basis-distribution store that lets the
+// Monte Carlo engine reuse work across parameter values (§3 of the
+// paper).
+//
+// The fingerprint of a parameterized stochastic function F(Pi), with
+// respect to a fixed global vector of m seeds {σk}, is the vector
+//
+//	fingerprint({σk}, F(Pi)) = { F(Pi, σk) | 0 ≤ k < m }
+//
+// Because every invocation draws its randomness from the seeded
+// generator, two parameter points whose output distributions are
+// related by a closed-form mapping M produce fingerprints related by
+// the same M — deterministically, not merely in distribution. Finding
+// M between two m-vectors is therefore cheap (Algorithm 2), and a
+// validated M lets the engine map previously computed output metrics
+// instead of re-running the Monte Carlo simulation (Algorithm 3).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"jigsaw/internal/rng"
+)
+
+// Func is a deterministic view of a stochastic black-box function: all
+// randomness is derived from the explicit seed (§3.1: "we extend F
+// with a seed parameter σ"). The Monte Carlo engine adapts richer
+// black-box signatures to this shape by closing over the parameter
+// point.
+type Func func(seed uint64) float64
+
+// Fingerprint is the output vector of a Func under the global seed set.
+type Fingerprint []float64
+
+// Compute evaluates f under every seed in the set, producing its
+// fingerprint. The k'th entry is also the k'th Monte Carlo sample, so
+// computing a fingerprint performs the first m rounds of simulation
+// rather than wasted extra work (§3.1).
+func Compute(f Func, seeds *rng.SeedSet) Fingerprint {
+	fp := make(Fingerprint, seeds.Len())
+	for k := range fp {
+		fp[k] = f(seeds.Seed(k))
+	}
+	return fp
+}
+
+// Clone returns an independent copy.
+func (fp Fingerprint) Clone() Fingerprint {
+	return append(Fingerprint(nil), fp...)
+}
+
+// IsConstant reports whether every entry equals the first within tol.
+// Constant fingerprints need special-casing in mapping discovery: the
+// paper's Algorithm 2 divides by θ1[1]−θ1[2], which a constant
+// fingerprint makes degenerate.
+func (fp Fingerprint) IsConstant(tol float64) bool {
+	for _, v := range fp[1:] {
+		if !approxEqual(v, fp[0], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstTwoDistinct returns the indices of the first entry and of the
+// first later entry that differs from it by more than tol. ok is false
+// for constant fingerprints.
+func (fp Fingerprint) FirstTwoDistinct(tol float64) (i, j int, ok bool) {
+	if len(fp) == 0 {
+		return 0, 0, false
+	}
+	for k := 1; k < len(fp); k++ {
+		if !approxEqual(fp[k], fp[0], tol) {
+			return 0, k, true
+		}
+	}
+	return 0, 0, false
+}
+
+// ApproxEqual reports element-wise equality within the relative
+// tolerance tol.
+func (fp Fingerprint) ApproxEqual(other Fingerprint, tol float64) bool {
+	if len(fp) != len(other) {
+		return false
+	}
+	for i := range fp {
+		if !approxEqual(fp[i], other[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// MappedBy returns the element-wise image of the fingerprint under m.
+func (fp Fingerprint) MappedBy(m Mapping) Fingerprint {
+	out := make(Fingerprint, len(fp))
+	for i, v := range fp {
+		out[i] = m.Apply(v)
+	}
+	return out
+}
+
+func (fp Fingerprint) String() string {
+	return fmt.Sprintf("fp%v", []float64(fp))
+}
+
+// approxEqual compares with relative tolerance: |a−b| ≤ tol·max(1,|a|,|b|).
+// The max(1,·) floor makes comparisons near zero behave absolutely,
+// which matters for indicator-style model outputs (0/1 overload flags).
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

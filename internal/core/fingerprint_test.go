@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jigsaw/internal/rng"
+)
+
+var testSeeds = rng.MustSeedSet(0xABCDEF, 10)
+
+// gaussianBox builds a Func sampling N(mu, sigma^2) under the seed.
+func gaussianBox(mu, sigma float64) Func {
+	return func(seed uint64) float64 {
+		return rng.New(seed).Normal(mu, sigma)
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	f := gaussianBox(5, 2)
+	a := Compute(f, testSeeds)
+	b := Compute(f, testSeeds)
+	if !a.ApproxEqual(b, 0) {
+		t.Fatalf("fingerprint not deterministic: %v vs %v", a, b)
+	}
+	if len(a) != testSeeds.Len() {
+		t.Fatalf("fingerprint length = %d", len(a))
+	}
+}
+
+func TestComputeIsAffineAcrossParams(t *testing.T) {
+	// N(mu, sigma) = mu + sigma*Z with Z fixed per seed, so the
+	// fingerprints of two Gaussian boxes are exact affine images.
+	fp1 := Compute(gaussianBox(0, 1), testSeeds)
+	fp2 := Compute(gaussianBox(10, 3), testSeeds)
+	for k := range fp1 {
+		want := 10 + 3*fp1[k]
+		if math.Abs(fp2[k]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("entry %d: got %g want %g", k, fp2[k], want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	fp := Fingerprint{1, 2, 3}
+	c := fp.Clone()
+	c[0] = 99
+	if fp[0] != 1 {
+		t.Fatal("Clone aliases receiver")
+	}
+}
+
+func TestIsConstant(t *testing.T) {
+	if !(Fingerprint{2, 2, 2}).IsConstant(1e-9) {
+		t.Fatal("constant fingerprint not detected")
+	}
+	if (Fingerprint{2, 2, 2.1}).IsConstant(1e-9) {
+		t.Fatal("non-constant fingerprint detected as constant")
+	}
+	if !(Fingerprint{1e12, 1e12 + 1e-3}).IsConstant(1e-9) {
+		t.Fatal("relative tolerance not applied at large magnitudes")
+	}
+}
+
+func TestFirstTwoDistinct(t *testing.T) {
+	i, j, ok := Fingerprint{5, 5, 5, 7, 9}.FirstTwoDistinct(1e-9)
+	if !ok || i != 0 || j != 3 {
+		t.Fatalf("FirstTwoDistinct = (%d,%d,%v)", i, j, ok)
+	}
+	if _, _, ok := (Fingerprint{4, 4, 4}).FirstTwoDistinct(1e-9); ok {
+		t.Fatal("constant fingerprint reported distinct entries")
+	}
+	if _, _, ok := (Fingerprint{}).FirstTwoDistinct(1e-9); ok {
+		t.Fatal("empty fingerprint reported distinct entries")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	a := Fingerprint{1, 2, 3}
+	if !a.ApproxEqual(Fingerprint{1, 2, 3 + 1e-12}, 1e-9) {
+		t.Fatal("tiny perturbation rejected")
+	}
+	if a.ApproxEqual(Fingerprint{1, 2}, 1e-9) {
+		t.Fatal("length mismatch accepted")
+	}
+	if a.ApproxEqual(Fingerprint{1, 2, 4}, 1e-9) {
+		t.Fatal("different fingerprint accepted")
+	}
+	if a.ApproxEqual(Fingerprint{1, 2, math.NaN()}, 1e-9) {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestMappedBy(t *testing.T) {
+	fp := Fingerprint{0, 1, 2}
+	got := fp.MappedBy(Linear{Alpha: 2, Beta: 1})
+	want := Fingerprint{1, 3, 5}
+	if !got.ApproxEqual(want, 0) {
+		t.Fatalf("MappedBy = %v, want %v", got, want)
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	if s := (Fingerprint{1, 2}).String(); !strings.HasPrefix(s, "fp[") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLinearMappingBasics(t *testing.T) {
+	m := Linear{Alpha: 2, Beta: -3}
+	if m.Apply(5) != 7 {
+		t.Fatalf("Apply = %g", m.Apply(5))
+	}
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("linear map with alpha != 0 not invertible")
+	}
+	if got := inv.Apply(m.Apply(13.5)); math.Abs(got-13.5) > 1e-12 {
+		t.Fatalf("inverse round trip = %g", got)
+	}
+	if _, ok := (Linear{Alpha: 0, Beta: 1}).Inverse(); ok {
+		t.Fatal("alpha=0 mapping reported invertible")
+	}
+	a, b := m.Coefficients()
+	if a != 2 || b != -3 {
+		t.Fatal("Coefficients broken")
+	}
+	if !strings.Contains(m.String(), "2") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestMappingConstructors(t *testing.T) {
+	if !IsIdentity(Identity(), 0) {
+		t.Fatal("Identity not identity")
+	}
+	if Shift(4).Apply(1) != 5 {
+		t.Fatal("Shift broken")
+	}
+	if Scale(3).Apply(2) != 6 {
+		t.Fatal("Scale broken")
+	}
+	if IsIdentity(Shift(1), 1e-9) {
+		t.Fatal("Shift(1) reported identity")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	from := Fingerprint{0, 1, 2, 3}
+	m := Linear{Alpha: 3, Beta: 1}
+	to := from.MappedBy(m)
+	if !Validate(m, from, to, 1e-9) {
+		t.Fatal("valid mapping rejected")
+	}
+	to[2] += 0.5
+	if Validate(m, from, to, 1e-9) {
+		t.Fatal("invalid mapping accepted")
+	}
+	if Validate(m, from, to[:3], 1e-9) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// Property: Validate accepts the exact image of any fingerprint under
+// any linear map with reasonable coefficients.
+func TestQuickValidateExactImages(t *testing.T) {
+	f := func(seed uint64, alphaRaw, betaRaw int16) bool {
+		alpha := float64(alphaRaw)/64 + 0.01 // avoid alpha == 0
+		beta := float64(betaRaw) / 64
+		fp := Compute(gaussianBox(1, 2), rng.MustSeedSet(seed, 8))
+		m := Linear{Alpha: alpha, Beta: beta}
+		return Validate(m, fp, fp.MappedBy(m), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+// Index accelerates the search for candidate basis fingerprints (§3.2).
+// The contract mirrors the paper's: Candidates must return a superset
+// of the basis ids whose fingerprints the mapping class can map onto
+// the probe (no false negatives); false positives are permitted and
+// discarded by FindMapping during match confirmation (Algorithm 3).
+type Index interface {
+	// Insert registers a basis fingerprint under id.
+	Insert(id int, fp Fingerprint)
+	// Candidates returns ids possibly similar to the probe.
+	Candidates(fp Fingerprint) []int
+	// Len returns the number of indexed fingerprints.
+	Len() int
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// ArrayIndex is the naive strategy: scan every basis distribution. It
+// is the baseline the two real indexes are measured against in
+// Figures 10 and 11.
+type ArrayIndex struct {
+	ids []int
+}
+
+// NewArrayIndex returns an empty array index.
+func NewArrayIndex() *ArrayIndex { return &ArrayIndex{} }
+
+// Insert implements Index.
+func (a *ArrayIndex) Insert(id int, _ Fingerprint) { a.ids = append(a.ids, id) }
+
+// Candidates implements Index: every basis is a candidate.
+func (a *ArrayIndex) Candidates(_ Fingerprint) []int {
+	return append([]int(nil), a.ids...)
+}
+
+// Len implements Index.
+func (a *ArrayIndex) Len() int { return len(a.ids) }
+
+// Name implements Index.
+func (a *ArrayIndex) Name() string { return "Array" }

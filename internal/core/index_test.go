@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jigsaw/internal/rng"
+)
+
+func containsID(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// indexUnderTest builds each strategy fresh for table-driven tests.
+func allIndexes() map[string]func() Index {
+	return map[string]func() Index{
+		"array": func() Index { return NewArrayIndex() },
+		"norm":  func() Index { return NewNormalizationIndex(6, DefaultTolerance) },
+		"sid":   func() Index { return NewSortedSIDIndex(DefaultTolerance, true) },
+	}
+}
+
+func TestIndexNoFalseNegativesUnderLinearMaps(t *testing.T) {
+	// The index contract (§3.2): candidates must contain every basis
+	// that the mapping class can map onto the probe.
+	base := Compute(gaussianBox(2, 1), testSeeds)
+	maps := []Linear{
+		Identity(), Shift(5), Scale(3), {Alpha: -2, Beta: 7}, {Alpha: 0.001, Beta: -4},
+	}
+	for name, mk := range allIndexes() {
+		idx := mk()
+		idx.Insert(0, base)
+		for _, m := range maps {
+			probe := base.MappedBy(m)
+			if !containsID(idx.Candidates(probe), 0) {
+				t.Errorf("%s: mapped probe %v missed basis", name, m)
+			}
+		}
+		if idx.Len() != 1 {
+			t.Errorf("%s: Len = %d", name, idx.Len())
+		}
+	}
+}
+
+func TestIndexSelectivity(t *testing.T) {
+	// Hash-based indexes must prune unrelated fingerprints; the array
+	// index by design does not.
+	a := Fingerprint{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := Fingerprint{1, 4, 9, 16, 25, 36, 49, 64, 81, 100} // not linear in a
+	norm := NewNormalizationIndex(6, DefaultTolerance)
+	norm.Insert(0, a)
+	if containsID(norm.Candidates(b), 0) {
+		t.Error("normalization index returned unrelated candidate")
+	}
+	// b is monotone in a, so SID keys collide — that is the documented
+	// false-positive mode of SID indexing, discarded by FindMapping.
+	sid := NewSortedSIDIndex(DefaultTolerance, true)
+	shuffled := Fingerprint{3, 1, 4, 1.5, 9, 2.6, 5.3, 5.8, 9.7, 9.3}
+	sid.Insert(0, a)
+	if containsID(sid.Candidates(shuffled), 0) {
+		t.Error("SID index returned candidate with different ordering")
+	}
+}
+
+func TestNormalizationConstantBucket(t *testing.T) {
+	idx := NewNormalizationIndex(6, DefaultTolerance)
+	idx.Insert(0, Fingerprint{5, 5, 5})
+	// Equal constants share a bucket (the only constants a sound
+	// mapping class can relate)…
+	if !containsID(idx.Candidates(Fingerprint{5, 5, 5}), 0) {
+		t.Fatal("equal constants should share a bucket")
+	}
+	// …distinct constants do not (keeps boolean-output models from
+	// piling into one bucket).
+	if containsID(idx.Candidates(Fingerprint{9, 9, 9}), 0) {
+		t.Fatal("distinct constants share a bucket")
+	}
+	if containsID(idx.Candidates(Fingerprint{9, 9, 10}), 0) {
+		t.Fatal("non-constant probe matched const bucket")
+	}
+}
+
+func TestStoreSkipsConstantProbeUnderStrictClass(t *testing.T) {
+	s := NewStore(LinearClass{StrictConstants: true}, NewArrayIndex(), DefaultTolerance)
+	if _, err := s.Add(Fingerprint{0, 0, 0}, "zero", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Match(Fingerprint{0, 0, 0}); ok {
+		t.Fatal("strict class matched a constant")
+	}
+	if st := s.Stats(); st.CandidatesScanned != 0 {
+		t.Fatalf("constant probe scanned %d candidates under strict class", st.CandidatesScanned)
+	}
+}
+
+func TestNormalizationDigitsDefault(t *testing.T) {
+	idx := NewNormalizationIndex(0, DefaultTolerance)
+	if idx.digits != 6 {
+		t.Fatalf("default digits = %d", idx.digits)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if quantize(0, 6) != "0" {
+		t.Fatal("quantize(0) != 0")
+	}
+	if quantize(1e-320, 6) != "0" {
+		t.Fatal("subnormal not collapsed to zero")
+	}
+	if quantize(1.5, 6) == quantize(1.6, 6) {
+		t.Fatal("distinct values share quantization")
+	}
+	if quantize(1.5, 6) != quantize(1.5+1e-12, 6) {
+		t.Fatal("rounding noise changed quantization")
+	}
+}
+
+func TestSortedSIDDecreasingMapping(t *testing.T) {
+	base := Fingerprint{3, 1, 4, 1.5, 9}
+	probe := base.MappedBy(Linear{Alpha: -2, Beta: 0})
+
+	bidi := NewSortedSIDIndex(DefaultTolerance, true)
+	bidi.Insert(0, base)
+	if !containsID(bidi.Candidates(probe), 0) {
+		t.Fatal("bidirectional SID index missed decreasing mapping")
+	}
+	uni := NewSortedSIDIndex(DefaultTolerance, false)
+	uni.Insert(0, base)
+	if containsID(uni.Candidates(probe), 0) {
+		t.Fatal("unidirectional SID index matched decreasing mapping")
+	}
+}
+
+func TestSortedSIDTieGrouping(t *testing.T) {
+	// Ties within tolerance must hash identically regardless of the
+	// incidental order a sort would give them.
+	idx := NewSortedSIDIndex(1e-6, false)
+	idx.Insert(0, Fingerprint{1, 1 + 1e-9, 2})
+	if !containsID(idx.Candidates(Fingerprint{1 + 1e-9, 1, 2}), 0) {
+		t.Fatal("tie permutation changed SID key")
+	}
+}
+
+func TestArrayIndexReturnsAll(t *testing.T) {
+	idx := NewArrayIndex()
+	for i := 0; i < 5; i++ {
+		idx.Insert(i, Fingerprint{float64(i)})
+	}
+	got := idx.Candidates(Fingerprint{42})
+	if len(got) != 5 {
+		t.Fatalf("array candidates = %v", got)
+	}
+	if idx.Name() != "Array" {
+		t.Fatal("name broken")
+	}
+}
+
+func TestIndexNames(t *testing.T) {
+	if NewNormalizationIndex(6, 1e-9).Name() != "Normalization" {
+		t.Fatal("normalization name")
+	}
+	if NewSortedSIDIndex(1e-9, true).Name() != "SortedSID" {
+		t.Fatal("SID name")
+	}
+}
+
+// Property: for arbitrary Gaussian fingerprints and arbitrary affine
+// maps, both hash indexes retrieve the inserted basis (no false
+// negatives). This is the invariant that keeps indexed Jigsaw exactly
+// as accurate as array-scan Jigsaw.
+func TestQuickIndexCompleteness(t *testing.T) {
+	f := func(seed uint64, alphaRaw, betaRaw int16) bool {
+		alpha := float64(alphaRaw)/128 + 0.0078125
+		if alpha == 0 {
+			return true
+		}
+		beta := float64(betaRaw) / 64
+		fp := Compute(gaussianBox(1, 2), rng.MustSeedSet(seed, 10))
+		probe := fp.MappedBy(Linear{Alpha: alpha, Beta: beta})
+
+		norm := NewNormalizationIndex(6, DefaultTolerance)
+		norm.Insert(7, fp)
+		if !containsID(norm.Candidates(probe), 7) {
+			return false
+		}
+		sid := NewSortedSIDIndex(DefaultTolerance, true)
+		sid.Insert(7, fp)
+		return containsID(sid.Candidates(probe), 7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// NormalizationIndex implements the first indexing strategy of §3.2:
+// translate each fingerprint to a normal form such that two linearly
+// mappable fingerprints share the same normal form, then look matches
+// up with a single hash probe.
+//
+// The normal form takes the first two distinct sample values and
+// applies the affine map sending them to 0 and 1. For any fingerprint
+// θ' = αθ + β (α ≠ 0) the distinct-value positions are preserved, and
+//
+//	(θ'[k] − θ'[i]) / (θ'[j] − θ'[i]) = (θ[k] − θ[i]) / (θ[j] − θ[i])
+//
+// so all entries of the normal forms coincide — for increasing and
+// decreasing α alike.
+//
+// Hash keys are built from the normal form quantized to a fixed number
+// of significant digits. Quantization tolerates the floating-point
+// rounding inherent in "exact" affine reuse; a value landing on a
+// quantization boundary can still produce a missed lookup, which costs
+// a redundant simulation but never a wrong answer (the store only
+// returns validated mappings).
+type NormalizationIndex struct {
+	buckets map[string][]int
+	n       int
+	digits  int
+	tol     float64
+}
+
+// NewNormalizationIndex returns an index quantizing normal forms to
+// `digits` significant decimal digits (6 is a good default against a
+// 1e-9 validation tolerance) and treating fingerprints as constant
+// below relative tolerance tol.
+func NewNormalizationIndex(digits int, tol float64) *NormalizationIndex {
+	if digits < 1 {
+		digits = 6
+	}
+	return &NormalizationIndex{
+		buckets: make(map[string][]int),
+		digits:  digits,
+		tol:     tol,
+	}
+}
+
+// Insert implements Index.
+func (n *NormalizationIndex) Insert(id int, fp Fingerprint) {
+	key := n.key(fp)
+	n.buckets[key] = append(n.buckets[key], id)
+	n.n++
+}
+
+// Candidates implements Index.
+func (n *NormalizationIndex) Candidates(fp Fingerprint) []int {
+	ids := n.buckets[n.key(fp)]
+	return append([]int(nil), ids...)
+}
+
+// Len implements Index.
+func (n *NormalizationIndex) Len() int { return n.n }
+
+// Name implements Index.
+func (n *NormalizationIndex) Name() string { return "Normalization" }
+
+// key computes the hash key of fp's normal form. Constant fingerprints
+// are keyed by their value: identical constants (the only constants a
+// sound mapping class can relate) share a bucket, while distinct
+// constants — e.g. the all-zeros and all-ones seas of a boolean model —
+// stay apart instead of piling into one bucket.
+func (n *NormalizationIndex) key(fp Fingerprint) string {
+	i, j, ok := fp.FirstTwoDistinct(n.tol)
+	if !ok {
+		v := 0.0
+		if len(fp) > 0 {
+			v = fp[0]
+		}
+		return "const:" + quantize(v, n.digits)
+	}
+	base := fp[i]
+	span := fp[j] - fp[i]
+	var b strings.Builder
+	b.Grow(16 * len(fp))
+	for k, v := range fp {
+		if k > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(quantize((v-base)/span, n.digits))
+	}
+	return b.String()
+}
+
+// quantize renders x with the given number of significant digits,
+// collapsing negative zero and (sub)normal dust so values that are zero
+// for all practical purposes share a key.
+func quantize(x float64, digits int) string {
+	if math.Abs(x) < 1e-300 {
+		return "0"
+	}
+	s := strconv.FormatFloat(x, 'e', digits-1, 64)
+	if s == "-0.00000e+00" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SortedSIDIndex implements the second indexing strategy of §3.2,
+// usable when the mapping class admits no normal form but is monotone:
+// assign each fingerprint entry its sample identifier (its position),
+// sort the entries by value, and use the resulting SID sequence as the
+// hash key. A monotonically increasing mapping preserves the sort
+// order, so mappable fingerprints share a key; for merely monotone
+// (possibly decreasing) classes, the lookup also probes the reversed
+// sequence, per the paper's "comparing both the SID sequence and its
+// inverse".
+//
+// Ties are the failure mode of SID indexing: equal values sort into an
+// arbitrary SID order that a mapping need not preserve. Entries are
+// therefore grouped: values equal within the tolerance share a tie
+// group, and groups are rendered as sorted SID clusters so any
+// tie-permutation yields the same key.
+type SortedSIDIndex struct {
+	buckets map[string][]int
+	n       int
+	tol     float64
+	// bidirectional controls whether Candidates also probes the
+	// reversed key (needed for decreasing monotone mappings, e.g.
+	// linear maps with α<0).
+	bidirectional bool
+}
+
+// NewSortedSIDIndex returns a Sorted-SID index. Set bidirectional for
+// mapping classes containing decreasing mappings.
+func NewSortedSIDIndex(tol float64, bidirectional bool) *SortedSIDIndex {
+	return &SortedSIDIndex{
+		buckets:       make(map[string][]int),
+		tol:           tol,
+		bidirectional: bidirectional,
+	}
+}
+
+// Insert implements Index.
+func (s *SortedSIDIndex) Insert(id int, fp Fingerprint) {
+	key := s.key(fp, false)
+	s.buckets[key] = append(s.buckets[key], id)
+	s.n++
+}
+
+// Candidates implements Index.
+func (s *SortedSIDIndex) Candidates(fp Fingerprint) []int {
+	out := append([]int(nil), s.buckets[s.key(fp, false)]...)
+	if s.bidirectional {
+		rev := s.buckets[s.key(fp, true)]
+		out = append(out, rev...)
+	}
+	return out
+}
+
+// Len implements Index.
+func (s *SortedSIDIndex) Len() int { return s.n }
+
+// Name implements Index.
+func (s *SortedSIDIndex) Name() string { return "SortedSID" }
+
+// key renders the tie-grouped SID sequence of fp; reversed flips the
+// sort direction, producing the key a decreasing mapping would have
+// produced.
+func (s *SortedSIDIndex) key(fp Fingerprint, reversed bool) string {
+	sids := make([]int, len(fp))
+	for i := range sids {
+		sids[i] = i
+	}
+	sort.SliceStable(sids, func(a, b int) bool {
+		if reversed {
+			return fp[sids[a]] > fp[sids[b]]
+		}
+		return fp[sids[a]] < fp[sids[b]]
+	})
+
+	var b strings.Builder
+	b.Grow(4 * len(fp))
+	group := make([]int, 0, len(fp))
+	flush := func() {
+		sort.Ints(group)
+		for i, sid := range group {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(sid))
+		}
+		b.WriteByte(';')
+		group = group[:0]
+	}
+	for i, sid := range sids {
+		if i > 0 && !approxEqual(fp[sid], fp[sids[i-1]], s.tol) {
+			flush()
+		}
+		group = append(group, sid)
+	}
+	if len(group) > 0 {
+		flush()
+	}
+	return b.String()
+}

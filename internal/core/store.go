@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Basis is one basis distribution (§3.1): the fingerprint of a fully
+// simulated parameter point together with the output metrics computed
+// for it. Payload is opaque to the store; the Monte Carlo engine keeps
+// a stats summary there, the Markov engine a chain state.
+type Basis struct {
+	// ID is the store-assigned identity, usable with Get.
+	ID int
+	// Fingerprint is the basis fingerprint θi.
+	Fingerprint Fingerprint
+	// Label describes the originating parameter point for diagnostics.
+	Label string
+	// Payload holds the simulated output metrics oi.
+	Payload any
+}
+
+// Store maintains the incrementally growing set of basis distributions
+// and implements the lookup side of Algorithm 3 (FindMatch): given a
+// new fingerprint, find a basis and a mapping from the basis onto it.
+type Store struct {
+	class   MappingClass
+	index   Index
+	tol     float64
+	bases   []*Basis
+	fpLen   int
+	queries int
+	hits    int
+	scanned int
+}
+
+// DefaultTolerance is the relative tolerance used to validate mappings
+// and compare fingerprint entries. Affine reuse of a deterministic
+// stream is exact up to floating-point rounding; 1e-9 accommodates
+// rounding while remaining far below any model-level signal.
+const DefaultTolerance = 1e-9
+
+// NewStore creates a store using the given mapping class and index
+// strategy. A nil index defaults to the naive array scan; a nil class
+// defaults to the linear class.
+func NewStore(class MappingClass, index Index, tol float64) *Store {
+	if class == nil {
+		class = LinearClass{}
+	}
+	if index == nil {
+		index = NewArrayIndex()
+	}
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	return &Store{class: class, index: index, tol: tol}
+}
+
+// Tolerance returns the store's relative tolerance.
+func (s *Store) Tolerance() float64 { return s.tol }
+
+// Class returns the store's mapping class.
+func (s *Store) Class() MappingClass { return s.class }
+
+// IndexName returns the active index strategy's name.
+func (s *Store) IndexName() string { return s.index.Name() }
+
+// Len returns the number of basis distributions.
+func (s *Store) Len() int { return len(s.bases) }
+
+// Get returns the basis with the given id.
+func (s *Store) Get(id int) (*Basis, bool) {
+	if id < 0 || id >= len(s.bases) {
+		return nil, false
+	}
+	return s.bases[id], true
+}
+
+// Bases returns the basis list in insertion order. The returned slice
+// must not be mutated.
+func (s *Store) Bases() []*Basis { return s.bases }
+
+// ErrFingerprintLength is returned when a fingerprint's length differs
+// from the store's established length.
+var ErrFingerprintLength = errors.New("core: fingerprint length differs from store's")
+
+// Add registers a fully simulated point as a new basis distribution
+// and returns it. The first Add fixes the store's fingerprint length.
+func (s *Store) Add(fp Fingerprint, label string, payload any) (*Basis, error) {
+	if len(fp) == 0 {
+		return nil, errors.New("core: empty fingerprint")
+	}
+	if s.fpLen == 0 {
+		s.fpLen = len(fp)
+	} else if len(fp) != s.fpLen {
+		return nil, fmt.Errorf("%w: got %d, store uses %d", ErrFingerprintLength, len(fp), s.fpLen)
+	}
+	b := &Basis{ID: len(s.bases), Fingerprint: fp.Clone(), Label: label, Payload: payload}
+	s.bases = append(s.bases, b)
+	s.index.Insert(b.ID, b.Fingerprint)
+	return b, nil
+}
+
+// Match searches for a basis distribution whose fingerprint the
+// mapping class maps onto fp (the candidate-pruning and FindMapping
+// loop of Algorithm 3). The returned mapping satisfies
+// mapping.Apply(basis.Fingerprint[k]) ≈ fp[k] for all k.
+//
+// ok=false means the caller must run the full simulation and Add the
+// result as a new basis.
+func (s *Store) Match(fp Fingerprint) (basis *Basis, mapping Mapping, ok bool) {
+	s.queries++
+	if s.fpLen != 0 && len(fp) != s.fpLen {
+		return nil, nil, false
+	}
+	// A constant probe cannot match under a class that rejects
+	// constants; skip the candidate scan (boolean-output models
+	// produce mostly constant fingerprints, which would otherwise
+	// pile into one bucket and turn every probe into a full scan).
+	if !s.class.CanMatchConstants() && fp.IsConstant(s.tol) {
+		return nil, nil, false
+	}
+	for _, id := range s.index.Candidates(fp) {
+		b := s.bases[id]
+		s.scanned++
+		if m, found := s.class.Find(b.Fingerprint, fp, s.tol); found {
+			s.hits++
+			return b, m, true
+		}
+	}
+	return nil, nil, false
+}
+
+// Stats describes the store's reuse behavior; the experiment harness
+// reports these alongside timings.
+type StoreStats struct {
+	// Bases is the number of basis distributions accumulated.
+	Bases int
+	// Queries is the number of Match calls.
+	Queries int
+	// Hits is the number of Match calls that found a mapping.
+	Hits int
+	// CandidatesScanned counts FindMapping attempts across all
+	// queries; the index strategies exist to minimize it.
+	CandidatesScanned int
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Bases:             len(s.bases),
+		Queries:           s.queries,
+		Hits:              s.hits,
+		CandidatesScanned: s.scanned,
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestStoreAddAndMatch(t *testing.T) {
+	s := NewStore(LinearClass{}, NewArrayIndex(), DefaultTolerance)
+	base := Compute(gaussianBox(0, 1), testSeeds)
+	b, err := s.Add(base, "p0", "metrics-p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 0 || s.Len() != 1 {
+		t.Fatalf("basis id/len = %d/%d", b.ID, s.Len())
+	}
+
+	probe := Compute(gaussianBox(4, 2.5), testSeeds)
+	got, m, ok := s.Match(probe)
+	if !ok {
+		t.Fatal("affinely related fingerprint did not match")
+	}
+	if got.ID != b.ID {
+		t.Fatalf("matched basis %d, want %d", got.ID, b.ID)
+	}
+	alpha, beta := m.(Affine).Coefficients()
+	if math.Abs(alpha-2.5) > 1e-6 || math.Abs(beta-4) > 1e-6 {
+		t.Fatalf("mapping = %v, want 2.5x+4", m)
+	}
+	if got.Payload.(string) != "metrics-p0" {
+		t.Fatal("payload lost")
+	}
+}
+
+func TestStoreMissThenAdd(t *testing.T) {
+	s := NewStore(LinearClass{}, NewNormalizationIndex(6, DefaultTolerance), DefaultTolerance)
+	fpA := Fingerprint{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+	fpB := Fingerprint{1, 4, 9, 16, 25, 36, 49, 64, 81, 100}
+	if _, err := s.Add(fpA, "A", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Match(fpB); ok {
+		t.Fatal("unrelated fingerprint matched")
+	}
+	if _, err := s.Add(fpB, "B", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Match(fpB.MappedBy(Shift(3))); !ok {
+		t.Fatal("shifted copy of B did not match after Add")
+	}
+	st := s.Stats()
+	if st.Bases != 2 || st.Queries != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreDefaults(t *testing.T) {
+	s := NewStore(nil, nil, 0)
+	if s.Class().Name() != "linear" {
+		t.Fatal("default class not linear")
+	}
+	if s.IndexName() != "Array" {
+		t.Fatal("default index not array")
+	}
+	if s.Tolerance() != DefaultTolerance {
+		t.Fatal("default tolerance wrong")
+	}
+}
+
+func TestStoreFingerprintLengthEnforced(t *testing.T) {
+	s := NewStore(nil, nil, 0)
+	if _, err := s.Add(Fingerprint{1, 2, 3}, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Add(Fingerprint{1, 2}, "b", nil)
+	if !errors.Is(err, ErrFingerprintLength) {
+		t.Fatalf("err = %v, want ErrFingerprintLength", err)
+	}
+	if _, err := s.Add(Fingerprint{}, "c", nil); err == nil {
+		t.Fatal("empty fingerprint accepted")
+	}
+	// Wrong-length probes must miss, not panic.
+	if _, _, ok := s.Match(Fingerprint{1, 2}); ok {
+		t.Fatal("wrong-length probe matched")
+	}
+}
+
+func TestStoreGet(t *testing.T) {
+	s := NewStore(nil, nil, 0)
+	b, _ := s.Add(Fingerprint{1, 2}, "x", 42)
+	got, ok := s.Get(b.ID)
+	if !ok || got.Payload.(int) != 42 {
+		t.Fatal("Get broken")
+	}
+	if _, ok := s.Get(-1); ok {
+		t.Fatal("Get(-1) succeeded")
+	}
+	if _, ok := s.Get(7); ok {
+		t.Fatal("Get past end succeeded")
+	}
+	if len(s.Bases()) != 1 {
+		t.Fatal("Bases length wrong")
+	}
+}
+
+func TestStoreMatchPrefersValidatedCandidate(t *testing.T) {
+	// With the SID index, a monotone-but-not-linear basis shares the
+	// probe's bucket; FindMapping must reject it and fall through to
+	// the genuinely linear basis.
+	s := NewStore(LinearClass{}, NewSortedSIDIndex(DefaultTolerance, true), DefaultTolerance)
+	monotone := Fingerprint{1, 2, 4, 8, 16}
+	linearBase := Fingerprint{1, 2, 3, 4, 5}
+	if _, err := s.Add(monotone, "mono", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(linearBase, "lin", nil); err != nil {
+		t.Fatal(err)
+	}
+	probe := linearBase.MappedBy(Linear{Alpha: 2, Beta: 1})
+	b, _, ok := s.Match(probe)
+	if !ok {
+		t.Fatal("no match found")
+	}
+	if b.Label != "lin" {
+		t.Fatalf("matched %q, want lin", b.Label)
+	}
+	if st := s.Stats(); st.CandidatesScanned < 2 {
+		t.Fatalf("expected the false positive to be scanned, stats = %+v", st)
+	}
+}
+
+func TestStoreMatchEmpty(t *testing.T) {
+	s := NewStore(nil, nil, 0)
+	if _, _, ok := s.Match(Fingerprint{1, 2, 3}); ok {
+		t.Fatal("empty store matched")
+	}
+}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/core"
+	"jigsaw/internal/markov"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+	"jigsaw/internal/sqlparse"
+	"jigsaw/internal/stats"
+)
+
+// figure5Source is the paper's Fig. 5 Markov scenario; ReleaseWeekModel
+// decides the release week from observed demand.
+const figure5Source = `
+DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @release_week AS CHAIN release_week
+    FROM @current_week : @current_week - 1
+    INITIAL VALUE 52;
+SELECT ReleaseWeekModel(@current_week, demand, @release_week) AS release_week, demand
+FROM (SELECT DemandModel(@current_week, @release_week) AS demand)
+INTO results
+`
+
+// releaseWeekModel pulls the release in once demand crosses a
+// threshold: if already pulled (release <= week horizon) keep it, else
+// if demand > 40, release four weeks out.
+func releaseWeekModel() blackbox.Box {
+	return blackbox.Func{FuncName: "ReleaseWeekModel", NArgs: 3,
+		Fn: func(args []float64, r *rng.Rand) float64 {
+			week, demand, release := args[0], args[1], args[2]
+			if release < 52 {
+				return release // already scheduled
+			}
+			if demand > 40 {
+				return week + 4
+			}
+			return 52 // initial sentinel: not scheduled yet
+		}}
+}
+
+func fig5Registry() *blackbox.Registry {
+	reg := stdRegistry()
+	reg.MustRegister(releaseWeekModel())
+	return reg
+}
+
+func compileFig5(t *testing.T) *Scenario {
+	t.Helper()
+	script, err := sqlparse.Parse(figure5Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileScenario(script, fig5Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScenarioChainBasics(t *testing.T) {
+	s := compileFig5(t)
+	if len(s.Chains()) != 1 {
+		t.Fatalf("chains = %d", len(s.Chains()))
+	}
+	c, err := NewScenarioChain(s, "demand", param.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := c.Initial()
+	if init[0] != 52 || init[1] != 0 {
+		t.Fatalf("initial = %v", init)
+	}
+	next := c.Step(10, init, rng.New(3))
+	if len(next) != 2 {
+		t.Fatalf("state = %v", next)
+	}
+	if c.Output(next) != next[1] {
+		t.Fatal("output component wrong")
+	}
+	mapped := c.ApplyMapping(core.Shift(5), next)
+	if mapped[0] != next[0] || mapped[1] != next[1]+5 {
+		t.Fatal("mapping must touch only the output component")
+	}
+}
+
+func TestScenarioChainErrors(t *testing.T) {
+	s := compileFig5(t)
+	if _, err := NewScenarioChain(s, "nope", param.Point{}); err == nil {
+		t.Fatal("missing output column accepted")
+	}
+	plain := compileFig1(t)
+	if _, err := NewScenarioChain(plain, "demand", param.Point{}); err == nil {
+		t.Fatal("chain-less scenario accepted")
+	}
+}
+
+func TestFig5ChainNaiveVsJump(t *testing.T) {
+	s := compileFig5(t)
+	chain, err := NewScenarioChain(s, "demand", param.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := markov.JumpOptions{Instances: 200, FingerprintLen: 10, MasterSeed: 7}
+	const target = 52
+	naive, nst, err := markov.NaiveEvaluate(chain, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jump, jst, err := markov.Jump(chain, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := stats.MeanOf(markov.Outputs(chain, naive))
+	jm := stats.MeanOf(markov.Outputs(chain, jump))
+	if rel := math.Abs(jm-nm) / math.Abs(nm); rel > 0.06 {
+		t.Fatalf("jump mean %g vs naive %g (rel %g)", jm, nm, rel)
+	}
+	if jst.TotalStepInvocations() >= nst.TotalStepInvocations() {
+		t.Fatalf("jump (%d invocations) no cheaper than naive (%d)",
+			jst.TotalStepInvocations(), nst.TotalStepInvocations())
+	}
+	// Releases must actually trigger in the naive run for the test to
+	// be meaningful.
+	triggered := 0
+	for _, st := range naive {
+		if st[0] < 52 {
+			triggered++
+		}
+	}
+	if triggered < 150 {
+		t.Fatalf("only %d/200 instances scheduled a release", triggered)
+	}
+}

@@ -1,0 +1,448 @@
+// Package exec binds parsed Jigsaw scripts (internal/sqlparse) to the
+// execution substrates: the lightweight Monte Carlo engine with
+// fingerprint reuse (internal/mc), the PDB wrapper (internal/pdb), and
+// the Markov chain evaluator (internal/markov). It corresponds to the
+// query-processing pipeline of Fig. 3.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+	"jigsaw/internal/sqlparse"
+)
+
+// Scenario is a compiled SELECT ... INTO definition: a parameter space
+// plus a row evaluator producing all result columns for one sampled
+// world. The whole row evaluation is "the stochastic function F" that
+// Jigsaw fingerprints (§3).
+type Scenario struct {
+	// Script is the source AST.
+	Script *sqlparse.Script
+	// Space enumerates the non-chain parameters.
+	Space *param.Space
+	// Columns are the result-table column names in SELECT order.
+	Columns []string
+	// Into is the results table name ("" when anonymous).
+	Into string
+
+	boxes *blackbox.Registry
+	// evals computes each column in order; inputs are the slots of
+	// earlier columns.
+	evals []colEval
+	// chains are the CHAIN declarations (Fig. 5).
+	chains []param.Decl
+}
+
+// colEval is the lightweight engine's compiled expression form: a
+// direct float interpreter with no value boxing, table materialization
+// or NULL bookkeeping — the "Ruby prototype" analogue of §6.1.
+type colEval func(slots []float64, p param.Point, r *rng.Rand) (float64, error)
+
+// CompileScenario compiles the script's SELECT statements against a
+// black-box registry. Multiple SELECTs are allowed; the scenario is
+// the last one with an INTO (or the last overall), matching how the
+// paper's scripts build one results table.
+func CompileScenario(script *sqlparse.Script, boxes *blackbox.Registry) (*Scenario, error) {
+	if script == nil || len(script.Selects) == 0 {
+		return nil, errors.New("exec: script has no SELECT statement")
+	}
+	sel := script.Selects[len(script.Selects)-1]
+
+	decls := make([]param.Decl, 0, len(script.Decls))
+	var chains []param.Decl
+	for _, d := range script.Decls {
+		pd, err := convertDecl(d)
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, pd)
+		if pd.Kind == param.KindChain {
+			chains = append(chains, pd)
+		}
+	}
+	space, err := param.NewSpace(decls...)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Scenario{
+		Script: script,
+		Space:  space,
+		Into:   sel.Into,
+		boxes:  boxes,
+		chains: chains,
+	}
+	slotIndex := map[string]int{}
+
+	var compileSelect func(stmt *sqlparse.SelectStmt) error
+	compileSelect = func(stmt *sqlparse.SelectStmt) error {
+		if stmt.Where != nil {
+			return errors.New("exec: WHERE is not supported in scenario SELECTs " +
+				"(filter on the OPTIMIZE constraints or use the PDB engine)")
+		}
+		if stmt.From != nil {
+			if stmt.From.Table != "" {
+				return fmt.Errorf("exec: FROM %s requires the PDB engine; "+
+					"the lightweight engine evaluates model-only scenarios", stmt.From.Table)
+			}
+			// Fig. 5: FROM (SELECT ...) — compile the subquery's
+			// columns first so outer items can reference them.
+			if err := compileSelect(stmt.From.Subquery); err != nil {
+				return err
+			}
+		}
+		for _, item := range stmt.Items {
+			name := item.Name()
+			// A bare reference to a column the subquery already
+			// produced is a pass-through (Fig. 5 re-selects demand),
+			// not a new column.
+			if c, ok := item.Expr.(*sqlparse.ColRef); ok {
+				if _, exists := slotIndex[c.Name]; exists && name == c.Name {
+					continue
+				}
+			}
+			if _, dup := slotIndex[name]; dup {
+				return fmt.Errorf("exec: duplicate result column %q", name)
+			}
+			ev, err := compileExpr(item.Expr, slotIndex, boxes)
+			if err != nil {
+				return fmt.Errorf("exec: column %q: %w", name, err)
+			}
+			slotIndex[name] = len(s.evals)
+			s.Columns = append(s.Columns, name)
+			s.evals = append(s.evals, ev)
+		}
+		return nil
+	}
+	if err := compileSelect(sel); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// convertDecl lowers a parsed declaration into a param.Decl.
+func convertDecl(d sqlparse.ParamDecl) (param.Decl, error) {
+	switch d.Kind {
+	case sqlparse.ParamRange:
+		return param.Range(d.Name, d.Lo, d.Hi, d.Step)
+	case sqlparse.ParamSet:
+		return param.Set(d.Name, d.Values...)
+	case sqlparse.ParamChain:
+		return param.Chain(d.Name, d.ChainColumn, d.Driver, d.DriverOffset, d.Initial)
+	default:
+		return param.Decl{}, fmt.Errorf("exec: unknown parameter kind %d", int(d.Kind))
+	}
+}
+
+// HasColumn reports whether the scenario produces the named column.
+func (s *Scenario) HasColumn(name string) bool {
+	for _, c := range s.Columns {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Chains returns the CHAIN declarations.
+func (s *Scenario) Chains() []param.Decl { return s.chains }
+
+// EvalRow evaluates all result columns for one world, in order, into
+// out (len(out) must equal len(Columns)).
+func (s *Scenario) EvalRow(p param.Point, r *rng.Rand, out []float64) error {
+	if len(out) != len(s.evals) {
+		return fmt.Errorf("exec: row buffer %d != %d columns", len(out), len(s.evals))
+	}
+	for i, ev := range s.evals {
+		v, err := ev(out, p, r)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// ColumnEval returns a PointEval producing the named column. Every
+// invocation evaluates the full row (one world of the whole scenario)
+// and projects the column — the simulation is a single stochastic
+// function; columns are views of it.
+func (s *Scenario) ColumnEval(name string) (mc.PointEval, error) {
+	idx := -1
+	for i, c := range s.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("exec: no result column %q (have %v)", name, s.Columns)
+	}
+	nCols := len(s.evals)
+	return func(p param.Point, r *rng.Rand) float64 {
+		slots := make([]float64, nCols)
+		if err := s.EvalRow(p, r, slots); err != nil {
+			// PointEval is infallible by contract; runtime evaluation
+			// errors indicate a compilation bug (all name resolution
+			// happens at compile time) and must not be silently folded
+			// into estimates.
+			panic(err)
+		}
+		return slots[idx]
+	}, nil
+}
+
+// compileExpr lowers a parsed expression to the direct interpreter
+// form. Name resolution happens here; evaluation cannot fail on
+// resolution. Booleans are represented as 0/1 floats.
+func compileExpr(e sqlparse.Expr, slots map[string]int, boxes *blackbox.Registry) (colEval, error) {
+	switch n := e.(type) {
+	case *sqlparse.NumberLit:
+		v := n.Value
+		return func([]float64, param.Point, *rng.Rand) (float64, error) { return v, nil }, nil
+	case *sqlparse.StringLit:
+		return nil, errors.New("string literals are not numeric")
+	case *sqlparse.ColRef:
+		idx, ok := slots[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("unknown column %q", n.Name)
+		}
+		return func(s []float64, _ param.Point, _ *rng.Rand) (float64, error) {
+			return s[idx], nil
+		}, nil
+	case *sqlparse.ParamRef:
+		name := n.Name
+		return func(_ []float64, p param.Point, _ *rng.Rand) (float64, error) {
+			v, ok := p.Get(name)
+			if !ok {
+				return 0, fmt.Errorf("exec: unbound parameter @%s", name)
+			}
+			return v, nil
+		}, nil
+	case *sqlparse.Unary:
+		inner, err := compileExpr(n.E, slots, boxes)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "NOT" {
+			return func(s []float64, p param.Point, r *rng.Rand) (float64, error) {
+				v, err := inner(s, p, r)
+				if err != nil {
+					return 0, err
+				}
+				if v == 0 {
+					return 1, nil
+				}
+				return 0, nil
+			}, nil
+		}
+		return func(s []float64, p param.Point, r *rng.Rand) (float64, error) {
+			v, err := inner(s, p, r)
+			return -v, err
+		}, nil
+	case *sqlparse.Binary:
+		return compileBinary(n, slots, boxes)
+	case *sqlparse.CaseExpr:
+		return compileCase(n, slots, boxes)
+	case *sqlparse.FuncCall:
+		return compileCall(n, slots, boxes)
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func compileBinary(n *sqlparse.Binary, slots map[string]int, boxes *blackbox.Registry) (colEval, error) {
+	l, err := compileExpr(n.Left, slots, boxes)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileExpr(n.Right, slots, boxes)
+	if err != nil {
+		return nil, err
+	}
+	var op func(a, b float64) float64
+	switch n.Op {
+	case "+":
+		op = func(a, b float64) float64 { return a + b }
+	case "-":
+		op = func(a, b float64) float64 { return a - b }
+	case "*":
+		op = func(a, b float64) float64 { return a * b }
+	case "/":
+		op = func(a, b float64) float64 { return a / b }
+	case "<":
+		op = func(a, b float64) float64 { return b2f(a < b) }
+	case "<=":
+		op = func(a, b float64) float64 { return b2f(a <= b) }
+	case ">":
+		op = func(a, b float64) float64 { return b2f(a > b) }
+	case ">=":
+		op = func(a, b float64) float64 { return b2f(a >= b) }
+	case "=":
+		op = func(a, b float64) float64 { return b2f(a == b) }
+	case "<>":
+		op = func(a, b float64) float64 { return b2f(a != b) }
+	case "AND":
+		op = func(a, b float64) float64 { return b2f(a != 0 && b != 0) }
+	case "OR":
+		op = func(a, b float64) float64 { return b2f(a != 0 || b != 0) }
+	default:
+		return nil, fmt.Errorf("unsupported operator %q", n.Op)
+	}
+	return func(s []float64, p param.Point, rr *rng.Rand) (float64, error) {
+		a, err := l(s, p, rr)
+		if err != nil {
+			return 0, err
+		}
+		b, err := r(s, p, rr)
+		if err != nil {
+			return 0, err
+		}
+		return op(a, b), nil
+	}, nil
+}
+
+// compileCase compiles all arms. Arms are evaluated in order; note
+// that unlike SQL's lazy CASE, *model calls inside untaken arms are
+// still evaluated* so the generator stream advances identically on
+// every code path — the fixed stream-consumption discipline that keeps
+// fingerprints comparable across parameter values (§3.1). Scenario
+// authors pay a little wasted work for deterministic alignment.
+func compileCase(n *sqlparse.CaseExpr, slots map[string]int, boxes *blackbox.Registry) (colEval, error) {
+	type arm struct{ when, then colEval }
+	arms := make([]arm, 0, len(n.Whens))
+	for _, a := range n.Whens {
+		w, err := compileExpr(a.When, slots, boxes)
+		if err != nil {
+			return nil, err
+		}
+		t, err := compileExpr(a.Then, slots, boxes)
+		if err != nil {
+			return nil, err
+		}
+		arms = append(arms, arm{w, t})
+	}
+	var elseEv colEval
+	if n.Else != nil {
+		var err error
+		if elseEv, err = compileExpr(n.Else, slots, boxes); err != nil {
+			return nil, err
+		}
+	}
+	return func(s []float64, p param.Point, r *rng.Rand) (float64, error) {
+		chosen := -1 // index of first satisfied arm; -2 selects ELSE
+		result := 0.0
+		for i, a := range arms {
+			c, err := a.when(s, p, r)
+			if err != nil {
+				return 0, err
+			}
+			v, err := a.then(s, p, r)
+			if err != nil {
+				return 0, err
+			}
+			if chosen == -1 && c != 0 {
+				chosen = i
+				result = v
+			}
+		}
+		if chosen >= 0 {
+			return result, nil
+		}
+		if elseEv != nil {
+			return elseEv(s, p, r)
+		}
+		return 0, nil
+	}, nil
+}
+
+func compileCall(n *sqlparse.FuncCall, slots map[string]int, boxes *blackbox.Registry) (colEval, error) {
+	if n.Name == "NULL" {
+		return nil, errors.New("NULL is not supported by the lightweight engine")
+	}
+	args := make([]colEval, len(n.Args))
+	for i, a := range n.Args {
+		ev, err := compileExpr(a, slots, boxes)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ev
+	}
+	if fn, arity, ok := scalarBuiltin(n.Name); ok {
+		if arity != len(args) {
+			return nil, fmt.Errorf("%s expects %d args, got %d", n.Name, arity, len(args))
+		}
+		return func(s []float64, p param.Point, r *rng.Rand) (float64, error) {
+			buf := make([]float64, len(args))
+			for i, a := range args {
+				v, err := a(s, p, r)
+				if err != nil {
+					return 0, err
+				}
+				buf[i] = v
+			}
+			return fn(buf), nil
+		}, nil
+	}
+	if boxes == nil {
+		return nil, fmt.Errorf("unknown function %q (no registry)", n.Name)
+	}
+	box, err := boxes.Lookup(n.Name)
+	if err != nil {
+		return nil, err
+	}
+	if box.Arity() != len(args) {
+		return nil, fmt.Errorf("%s expects %d args, got %d", n.Name, box.Arity(), len(args))
+	}
+	return func(s []float64, p param.Point, r *rng.Rand) (float64, error) {
+		buf := make([]float64, len(args))
+		for i, a := range args {
+			v, err := a(s, p, r)
+			if err != nil {
+				return 0, err
+			}
+			buf[i] = v
+		}
+		return box.Eval(buf, r), nil
+	}, nil
+}
+
+func scalarBuiltin(name string) (func([]float64) float64, int, bool) {
+	switch name {
+	case "ABS", "abs":
+		return func(a []float64) float64 {
+			if a[0] < 0 {
+				return -a[0]
+			}
+			return a[0]
+		}, 1, true
+	case "MINV", "minv":
+		return func(a []float64) float64 {
+			if a[0] < a[1] {
+				return a[0]
+			}
+			return a[1]
+		}, 2, true
+	case "MAXV", "maxv":
+		return func(a []float64) float64 {
+			if a[0] > a[1] {
+				return a[0]
+			}
+			return a[1]
+		}, 2, true
+	default:
+		return nil, 0, false
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

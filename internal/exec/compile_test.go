@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+	"jigsaw/internal/sqlparse"
+)
+
+// figure1Source is the paper's Fig. 1 scenario definition.
+const figure1Source = `
+DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @feature_release AS SET (12,36,44);
+SELECT DemandModel(@current_week, @feature_release) AS demand,
+       CapacityModel(@current_week, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+`
+
+func stdRegistry() *blackbox.Registry {
+	reg := blackbox.NewRegistry()
+	reg.MustRegister(blackbox.NewDemand())
+	reg.MustRegister(blackbox.NewCapacity())
+	return reg
+}
+
+func compileFig1(t *testing.T) *Scenario {
+	t.Helper()
+	script, err := sqlparse.Parse(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileScenario(script, stdRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCompileFigure1(t *testing.T) {
+	s := compileFig1(t)
+	if s.Into != "results" {
+		t.Fatalf("into = %q", s.Into)
+	}
+	want := []string{"demand", "capacity", "overload"}
+	if len(s.Columns) != 3 {
+		t.Fatalf("columns = %v", s.Columns)
+	}
+	for i, w := range want {
+		if s.Columns[i] != w {
+			t.Fatalf("columns = %v", s.Columns)
+		}
+	}
+	// 53 weeks × 14 × 14 purchases × 3 releases.
+	if s.Space.Size() != 53*14*14*3 {
+		t.Fatalf("space size = %d", s.Space.Size())
+	}
+	if !s.HasColumn("overload") || s.HasColumn("zzz") {
+		t.Fatal("HasColumn broken")
+	}
+}
+
+func TestEvalRowMatchesDirectModels(t *testing.T) {
+	s := compileFig1(t)
+	p := param.Point{"current_week": 30, "purchase1": 8, "purchase2": 16, "feature_release": 12}
+	slots := make([]float64, 3)
+	if err := s.EvalRow(p, rng.New(99), slots); err != nil {
+		t.Fatal(err)
+	}
+	// Replay by hand with the same stream.
+	r := rng.New(99)
+	demand := blackbox.NewDemand().Eval([]float64{30, 12}, r)
+	capacity := blackbox.NewCapacity().Eval([]float64{30, 8, 16}, r)
+	overload := 0.0
+	if capacity < demand {
+		overload = 1
+	}
+	if slots[0] != demand || slots[1] != capacity || slots[2] != overload {
+		t.Fatalf("row = %v, want [%g %g %g]", slots, demand, capacity, overload)
+	}
+}
+
+func TestEvalRowBufferValidation(t *testing.T) {
+	s := compileFig1(t)
+	if err := s.EvalRow(param.Point{}, rng.New(1), make([]float64, 1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestColumnEval(t *testing.T) {
+	s := compileFig1(t)
+	ev, err := s.ColumnEval("overload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := param.Point{"current_week": 50, "purchase1": 0, "purchase2": 4, "feature_release": 12}
+	v := ev(p, rng.New(3))
+	if v != 0 && v != 1 {
+		t.Fatalf("overload = %g", v)
+	}
+	if _, err := s.ColumnEval("missing"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no select":     "DECLARE PARAMETER @x AS SET (1)",
+		"where":         "SELECT 1 AS a WHERE 1 < 2",
+		"from table":    "SELECT x FROM users",
+		"dup column":    "SELECT 1 AS a, 2 AS a",
+		"unknown col":   "SELECT nope AS a",
+		"unknown box":   "SELECT Mystery(1) AS a",
+		"box arity":     "SELECT DemandModel(1) AS a",
+		"string lit":    "SELECT 'hello' AS a",
+		"null":          "SELECT NULL AS a",
+		"builtin arity": "SELECT ABS(1, 2) AS a",
+	} {
+		script, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse failed: %v", name, err)
+		}
+		if _, err := CompileScenario(script, stdRegistry()); err == nil {
+			t.Errorf("%s: compile accepted %q", name, src)
+		}
+	}
+	if _, err := CompileScenario(nil, nil); err == nil {
+		t.Error("nil script accepted")
+	}
+}
+
+func TestCompileOperatorsAndBuiltins(t *testing.T) {
+	src := `SELECT 2 + 3 * 4 AS a,
+	               ABS(0 - 5) AS b,
+	               MINV(3, 7) AS c,
+	               MAXV(3, 7) AS d,
+	               CASE WHEN 1 < 2 THEN 10 WHEN 1 = 1 THEN 20 END AS e,
+	               CASE WHEN 1 > 2 THEN 10 END AS f,
+	               NOT (1 < 2) AS g,
+	               (1 < 2) AND (3 >= 3) AS h,
+	               (1 <> 1) OR (2 <= 1) AS i,
+	               -(4 / 2) AS j`
+	script, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileScenario(script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := make([]float64, len(s.Columns))
+	if err := s.EvalRow(param.Point{}, rng.New(1), slots); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{14, 5, 3, 7, 10, 0, 0, 1, 0, -2}
+	for i, w := range want {
+		if slots[i] != w {
+			t.Fatalf("column %s = %g, want %g (all %v)", s.Columns[i], slots[i], w, slots)
+		}
+	}
+}
+
+func TestCaseConsumesStreamOnAllArms(t *testing.T) {
+	// Both CASE arms call a model; the generator stream must advance
+	// identically whichever arm is selected, so fingerprints stay
+	// aligned across parameter values (§3.1).
+	src := `DECLARE PARAMETER @w AS RANGE 0 TO 60 STEP BY 1;
+	SELECT CASE WHEN @w < 30 THEN DemandModel(@w, 99) ELSE DemandModel(@w, 99) * 2 END AS v,
+	       DemandModel(@w, 99) AS after`
+	script, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileScenario(script, stdRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "after" column must see the same stream position regardless
+	// of which arm was taken: compare week 10 (first arm) and week 50
+	// (second arm) — after differs only through its own @w argument.
+	slots10 := make([]float64, 2)
+	slots50 := make([]float64, 2)
+	if err := s.EvalRow(param.Point{"w": 10}, rng.New(5), slots10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EvalRow(param.Point{"w": 50}, rng.New(5), slots50); err != nil {
+		t.Fatal(err)
+	}
+	// Replay "after" by hand: two DemandModel draws then the third.
+	r := rng.New(5)
+	blackbox.NewDemand().Eval([]float64{50, 99}, r)
+	blackbox.NewDemand().Eval([]float64{50, 99}, r)
+	want := blackbox.NewDemand().Eval([]float64{50, 99}, r)
+	if slots50[1] != want {
+		t.Fatalf("stream misaligned: after = %g, want %g", slots50[1], want)
+	}
+}
+
+func TestUnboundParameterSurfacesError(t *testing.T) {
+	s := compileFig1(t)
+	ev, err := s.ColumnEval("demand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbound parameter did not panic through PointEval")
+		}
+	}()
+	ev(param.Point{}, rng.New(1))
+}
+
+func TestScenarioSweepReuse(t *testing.T) {
+	// End-to-end: sweeping Fig. 1's demand over a year must find very
+	// few bases (the §6.2 Demand result: one basis for ~5000 points).
+	s := compileFig1(t)
+	ev, err := s.ColumnEval("demand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mc.MustNew(mc.Options{Samples: 200, Reuse: true, Workers: 1})
+	fixed := param.Point{"purchase1": 0, "purchase2": 0}
+	full := 0
+	for week := 0.0; week <= 52; week++ {
+		for _, fr := range []float64{12, 36, 44} {
+			pr := eng.EvaluatePoint(ev, fixed.With("current_week", week).With("feature_release", fr))
+			if !pr.Reused {
+				full++
+			}
+		}
+	}
+	// Demand is one affine family: a single basis (§6.2), plus at most
+	// one for the degenerate week-0 point (zero variance → constant).
+	if full > 2 {
+		t.Fatalf("demand sweep required %d full simulations for 159 points", full)
+	}
+	if math.IsNaN(float64(full)) {
+		t.Fatal("impossible")
+	}
+}
+
+func TestCompileSubqueryColumns(t *testing.T) {
+	src := `
+	DECLARE PARAMETER @w AS RANGE 0 TO 10 STEP BY 1;
+	SELECT demand * 2 AS doubled, demand
+	FROM (SELECT DemandModel(@w, 99) AS demand)
+	INTO results`
+	script, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileScenario(script, stdRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subquery columns come first, then outer columns.
+	if len(s.Columns) != 2 || s.Columns[0] != "demand" || s.Columns[1] != "doubled" {
+		t.Fatalf("columns = %v", s.Columns)
+	}
+	slots := make([]float64, 2)
+	if err := s.EvalRow(param.Point{"w": 5}, rng.New(7), slots); err != nil {
+		t.Fatal(err)
+	}
+	if slots[1] != slots[0]*2 {
+		t.Fatalf("doubled = %g, demand = %g", slots[1], slots[0])
+	}
+	if !strings.Contains(s.Columns[1], "doubled") {
+		t.Fatal("impossible")
+	}
+}

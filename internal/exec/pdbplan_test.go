@@ -1,0 +1,165 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/pdb"
+	"jigsaw/internal/sqlparse"
+)
+
+func fig1DB() *pdb.DB {
+	db := pdb.NewDB()
+	db.Boxes.MustRegister(blackbox.NewDemand())
+	db.Boxes.MustRegister(blackbox.NewCapacity())
+	return db
+}
+
+func TestBuildPDBPlanFigure1(t *testing.T) {
+	script, err := sqlparse.Parse(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPDBPlan(script.Selects[0], fig1DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Schema().String() != "demand, capacity, overload" {
+		t.Fatalf("schema = %s", plan.Schema())
+	}
+	params := map[string]float64{
+		"current_week": 40, "purchase1": 0, "purchase2": 8, "feature_release": 12,
+	}
+	dist, err := pdb.RunDistribution(plan, params, pdb.WorldsOptions{Worlds: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, _ := dist.CellByName(0, "demand")
+	capacity, _ := dist.CellByName(0, "capacity")
+	overload, _ := dist.CellByName(0, "overload")
+	// Demand at week 40 with release at 12: 40 + 0.2·28 ≈ 45.6.
+	if math.Abs(demand.Mean-45.6) > 2 {
+		t.Fatalf("E[demand] = %g, want ~45.6", demand.Mean)
+	}
+	// Both purchases online: ~100 - 0.2 + 80 ≈ 180.
+	if math.Abs(capacity.Mean-180) > 3 {
+		t.Fatalf("E[capacity] = %g, want ~180", capacity.Mean)
+	}
+	if overload.Mean < 0 || overload.Mean > 0.05 {
+		t.Fatalf("E[overload] = %g, want ~0 at week 40", overload.Mean)
+	}
+}
+
+func TestPDBPlanAgreesWithLightweightEngine(t *testing.T) {
+	// The wrapper and the core engine are different execution paths of
+	// the same semantics: identical master seed → identical per-world
+	// streams → identical estimates (not just statistically close).
+	script, err := sqlparse.Parse(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPDBPlan(script.Selects[0], fig1DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]float64{
+		"current_week": 30, "purchase1": 4, "purchase2": 12, "feature_release": 36,
+	}
+	dist, err := pdb.RunDistribution(plan, params, pdb.WorldsOptions{Worlds: 500, MasterSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapDemand, _ := dist.CellByName(0, "demand")
+
+	s, err := CompileScenario(script, stdRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.ColumnEval("demand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mustEngine(t, 500, 11)
+	pr := eng.EvaluatePoint(ev, toPoint(params))
+	if math.Abs(pr.Summary.Mean-wrapDemand.Mean) > 1e-9 {
+		t.Fatalf("engines disagree: %g vs %g", pr.Summary.Mean, wrapDemand.Mean)
+	}
+	if math.Abs(pr.Summary.StdDev-wrapDemand.StdDev) > 1e-9 {
+		t.Fatalf("stddev disagrees: %g vs %g", pr.Summary.StdDev, wrapDemand.StdDev)
+	}
+}
+
+func TestBuildPDBPlanWithWhereAndFrom(t *testing.T) {
+	db := fig1DB()
+	tbl := pdb.MustNewTable("week", "volume")
+	tbl.MustAppend(pdb.Row{pdb.Float(1), pdb.Float(10)})
+	tbl.MustAppend(pdb.Row{pdb.Float(2), pdb.Float(20)})
+	tbl.MustAppend(pdb.Row{pdb.Float(3), pdb.Float(30)})
+	if err := db.CreateTable("purchases", tbl); err != nil {
+		t.Fatal(err)
+	}
+	script, err := sqlparse.Parse(`SELECT week, volume * 2 AS dbl FROM purchases WHERE volume > 15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPDBPlan(script.Selects[0], db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := plan.Execute(&pdb.RowCtx{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	if f, _ := out.Rows[0][1].AsFloat(); f != 40 {
+		t.Fatalf("dbl = %g", f)
+	}
+	if out.Schema.String() != "week, dbl" {
+		t.Fatalf("schema = %s", out.Schema)
+	}
+}
+
+func TestBuildPDBPlanErrors(t *testing.T) {
+	db := fig1DB()
+	if _, err := BuildPDBPlan(nil, db); err == nil {
+		t.Fatal("nil select accepted")
+	}
+	for name, src := range map[string]string{
+		"missing table": "SELECT x FROM nope",
+		"unknown box":   "SELECT Mystery(1) AS a",
+		"unknown col":   "SELECT missing_col AS a",
+	} {
+		script, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BuildPDBPlan(script.Selects[0], db); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestBuildPDBPlanMultiArmCase(t *testing.T) {
+	script, err := sqlparse.Parse(
+		`SELECT CASE WHEN 1 > 2 THEN 10 WHEN 2 > 1 THEN 20 ELSE 30 END AS v, NULL AS n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPDBPlan(script.Selects[0], fig1DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := plan.Execute(&pdb.RowCtx{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := out.Rows[0][0].AsFloat(); f != 20 {
+		t.Fatalf("multi-arm CASE = %v", out.Rows[0][0])
+	}
+	if !out.Rows[0][1].IsNull() {
+		t.Fatal("NULL literal lost")
+	}
+}

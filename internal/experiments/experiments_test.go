@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := Defaults()
+	if c.Samples != d.Samples || c.Users != d.Users || c.Trials != d.Trials {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	q := Quick()
+	if q.Samples >= d.Samples {
+		t.Fatal("Quick config not smaller than Defaults")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"wide-cell", "3"}},
+		Notes:   []string{"a note"},
+	}
+	s := tbl.String()
+	for _, frag := range []string{"== demo ==", "long-column", "wide-cell", "note: a note"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendered table missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Samples = 60
+	cfg.Users = 400
+	rows, table, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig7Row{}
+	for _, r := range rows {
+		byName[r.Model] = r
+		if r.WrapperSecPerPC <= 0 || r.CoreSecPerPC <= 0 {
+			t.Fatalf("%s: non-positive timing %+v", r.Model, r)
+		}
+	}
+	// Shape (paper Fig. 7): wrapper much slower on model-only queries…
+	for _, m := range []string{"Demand", "Capacity", "Overload"} {
+		if byName[m].WrapperSecPerPC < byName[m].CoreSecPerPC {
+			t.Errorf("%s: wrapper (%g) unexpectedly faster than core (%g)",
+				m, byName[m].WrapperSecPerPC, byName[m].CoreSecPerPC)
+		}
+	}
+	// …and faster on the data-dependent model.
+	us := byName["UserSelect"]
+	if us.WrapperSecPerPC > us.CoreSecPerPC {
+		t.Errorf("UserSelect: wrapper (%g) slower than core (%g); set-oriented win lost",
+			us.WrapperSecPerPC, us.CoreSecPerPC)
+	}
+	if !strings.Contains(table.String(), "UserSelect") {
+		t.Fatal("table missing UserSelect row")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Samples = 150
+	cfg.Users = 200
+	cfg.MarkovInstances = 150
+	rows, table, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig8Row{}
+	for _, r := range rows {
+		byName[r.Model] = r
+	}
+	// Usage and Capacity get large speedups from few bases.
+	if byName["Usage"].Speedup() < 3 {
+		t.Errorf("Usage speedup = %g, want >> 1", byName["Usage"].Speedup())
+	}
+	if byName["Usage"].Bases > 3 {
+		t.Errorf("Usage bases = %d, want ~1", byName["Usage"].Bases)
+	}
+	if byName["Capacity"].Speedup() < 2 {
+		t.Errorf("Capacity speedup = %g, want > 2", byName["Capacity"].Speedup())
+	}
+	if byName["Capacity"].Bases >= byName["Capacity"].Points/4 {
+		t.Errorf("Capacity bases = %d of %d points; reuse broken",
+			byName["Capacity"].Bases, byName["Capacity"].Points)
+	}
+	// Overload's boolean output limits reuse: smaller speedup than
+	// Capacity on the same space (paper: ~2x vs ~100x).
+	if byName["Overload"].Speedup() >= byName["Capacity"].Speedup() {
+		t.Errorf("Overload speedup %g >= Capacity speedup %g; boolean limit lost",
+			byName["Overload"].Speedup(), byName["Capacity"].Speedup())
+	}
+	// MarkovStep benefits from jumps.
+	if byName["MarkovStep"].Speedup() < 2 {
+		t.Errorf("MarkovStep speedup = %g, want > 2", byName["MarkovStep"].Speedup())
+	}
+	if !strings.Contains(table.String(), "MarkovStep") {
+		t.Fatal("table missing MarkovStep")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Samples = 100
+	rows, table, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Bases grow with structure size…
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Bases <= first.Bases {
+		t.Errorf("bases did not grow with structure size: %d -> %d", first.Bases, last.Bases)
+	}
+	// …but sub-linearly relative to the structure-size growth.
+	growth := float64(last.Bases) / float64(maxInt(first.Bases, 1))
+	sizeGrowth := float64(last.StructureSize) / float64(maxInt(first.StructureSize, 1))
+	if growth > sizeGrowth*3 {
+		t.Errorf("basis growth %.1fx vs size growth %.1fx: not sub-linear-ish", growth, sizeGrowth)
+	}
+	for _, r := range rows {
+		if r.Bases > r.Points/3 {
+			t.Errorf("structure %d: %d bases for %d points", r.StructureSize, r.Bases, r.Points)
+		}
+	}
+	if !strings.Contains(table.String(), "Structure") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Samples = 60
+	rows, table, err := Figure10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hash indexes must scan far fewer candidates than the array
+	// at large basis counts (the figure's core claim; time ratios are
+	// noisy in CI, candidate counts are deterministic).
+	last := rows[len(rows)-1]
+	if last.CandidatesScanned["Normalization"]*10 > last.CandidatesScanned["Array"] {
+		t.Errorf("normalization scanned %d vs array %d",
+			last.CandidatesScanned["Normalization"], last.CandidatesScanned["Array"])
+	}
+	if last.CandidatesScanned["SortedSID"]*10 > last.CandidatesScanned["Array"] {
+		t.Errorf("sorted-SID scanned %d vs array %d",
+			last.CandidatesScanned["SortedSID"], last.CandidatesScanned["Array"])
+	}
+	if !strings.Contains(table.String(), "Normalization") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Samples = 50
+	cfg.Trials = 1
+	rows, _, err := Figure11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Array per-point time grows with basis count; the hash indexes
+	// must grow strictly slower end to end.
+	first, last := rows[0], rows[len(rows)-1]
+	arrayGrowth := last.SecPerPoint["Array"] / first.SecPerPoint["Array"]
+	normGrowth := last.SecPerPoint["Normalization"] / first.SecPerPoint["Normalization"]
+	if arrayGrowth < 1.5 {
+		t.Skipf("array growth %.2fx too small to discriminate on this machine", arrayGrowth)
+	}
+	if normGrowth >= arrayGrowth {
+		t.Errorf("normalization growth %.2fx not below array growth %.2fx", normGrowth, arrayGrowth)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.MarkovInstances = 300
+	cfg.MarkovSteps = 96
+	rows, table, err := Figure12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rows[0] // branching 1e-5
+	last := rows[len(rows)-1]
+	// Jigsaw must do far less work at low branching…
+	if first.JigsawInvocations*3 > first.NaiveInvocations {
+		t.Errorf("low branching: jigsaw %d invocations vs naive %d",
+			first.JigsawInvocations, first.NaiveInvocations)
+	}
+	// …and lose (or at least stop winning) at high branching.
+	if last.JigsawInvocations < first.JigsawInvocations {
+		t.Errorf("jigsaw work should grow with branching: %d -> %d",
+			first.JigsawInvocations, last.JigsawInvocations)
+	}
+	if !strings.Contains(table.String(), "Branching") {
+		t.Fatal("table broken")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jigsaw/internal/markov"
+)
+
+// Fig12Row is one branching-factor point of Fig. 12: per-step time for
+// the naive evaluator and for Jigsaw's MarkovJump.
+type Fig12Row struct {
+	Branching float64
+	// NaiveMsPerStep and JigsawMsPerStep are wall-clock per chain step.
+	NaiveMsPerStep, JigsawMsPerStep float64
+	// NaiveInvocations and JigsawInvocations count chain Step calls —
+	// the hardware-independent work measure.
+	NaiveInvocations, JigsawInvocations int
+}
+
+// Figure12 reproduces the Markov-process performance sweep (§6.4): a
+// synthetic chain diverging at a predefined branching rate, evaluated
+// for the configured number of steps. Jigsaw wins while discontinuities
+// are infrequent and crosses over near branching ~0.05–0.1, as in the
+// paper.
+func Figure12(cfg Config) ([]Fig12Row, *Table, error) {
+	cfg = cfg.withDefaults()
+	branchings := []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.02, 0.05, 0.1}
+
+	opts := markov.JumpOptions{
+		Instances:      cfg.MarkovInstances,
+		FingerprintLen: cfg.FingerprintLen,
+		MasterSeed:     cfg.MasterSeed,
+	}
+	steps := cfg.MarkovSteps
+
+	var rows []Fig12Row
+	for _, p := range branchings {
+		// Work gives each step a realistic model cost so the
+		// comparison is invocation-bound, as in the paper's models.
+		mk := func() *markov.BranchChain {
+			c := markov.NewBranchChain(p)
+			c.Box.Work = 8
+			return c
+		}
+		var nst, jst markov.JumpStats
+		naive := timeIt(cfg.Trials, func() {
+			var err error
+			_, nst, err = markov.NaiveEvaluate(mk(), steps, opts)
+			if err != nil {
+				panic(err)
+			}
+		})
+		jig := timeIt(cfg.Trials, func() {
+			var err error
+			_, jst, err = markov.Jump(mk(), steps, opts)
+			if err != nil {
+				panic(err)
+			}
+		})
+		rows = append(rows, Fig12Row{
+			Branching:         p,
+			NaiveMsPerStep:    naive.Seconds() * 1000 / float64(steps),
+			JigsawMsPerStep:   jig.Seconds() * 1000 / float64(steps),
+			NaiveInvocations:  nst.TotalStepInvocations(),
+			JigsawInvocations: jst.TotalStepInvocations(),
+		})
+	}
+
+	table := &Table{
+		Title:   "Figure 12: performance for a Markov process (per step)",
+		Columns: []string{"Branching", "Naive ms/step", "Jigsaw ms/step", "Naive invocations", "Jigsaw invocations"},
+		Notes: []string{
+			"Jigsaw advantage shrinks as discontinuities become frequent; crossover near 0.05–0.1 (paper §6.4)",
+		},
+	}
+	for _, r := range rows {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%g", r.Branching),
+			fmt.Sprintf("%.4f", r.NaiveMsPerStep),
+			fmt.Sprintf("%.4f", r.JigsawMsPerStep),
+			fmt.Sprint(r.NaiveInvocations),
+			fmt.Sprint(r.JigsawInvocations),
+		})
+	}
+	return rows, table, nil
+}

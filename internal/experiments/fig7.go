@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/exec"
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+	"jigsaw/internal/pdb"
+	"jigsaw/internal/sqlparse"
+)
+
+// Fig7Row is one line of the Fig. 7 table: seconds per parameter
+// combination under the two prototypes.
+type Fig7Row struct {
+	Model string
+	// WrapperSecPerPC is the PDB-stack prototype (the paper's
+	// "Online" C# + MS SQL wrapper).
+	WrapperSecPerPC float64
+	// CoreSecPerPC is the lightweight engine (the paper's "Offline"
+	// Ruby core).
+	CoreSecPerPC float64
+}
+
+// fig7Case describes one model's two execution paths.
+type fig7Case struct {
+	name    string
+	points  []param.Point
+	wrapper func(p param.Point)
+	core    func(p param.Point)
+}
+
+// Figure7 reproduces the §6.1 two-prototype comparison. For the
+// model-only queries the wrapper pays per-invocation parse/plan and
+// per-world interpretation costs; for the data-dependent UserSelect
+// it wins through set-oriented bulk VG evaluation (see DESIGN.md's
+// substitution notes).
+func Figure7(cfg Config) ([]Fig7Row, *Table, error) {
+	cfg = cfg.withDefaults()
+
+	cases, err := fig7Cases(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Fig7Row
+	for _, c := range cases {
+		wrapper := timeIt(cfg.Trials, func() {
+			for _, p := range c.points {
+				c.wrapper(p)
+			}
+		})
+		core := timeIt(cfg.Trials, func() {
+			for _, p := range c.points {
+				c.core(p)
+			}
+		})
+		n := time.Duration(len(c.points))
+		rows = append(rows, Fig7Row{
+			Model:           c.name,
+			WrapperSecPerPC: (wrapper / n).Seconds(),
+			CoreSecPerPC:    (core / n).Seconds(),
+		})
+	}
+
+	table := &Table{
+		Title:   "Figure 7: wrapper vs core engine (s per parameter combination)",
+		Columns: []string{"Model", "Wrapper s/pc", "Core s/pc", "Wrapper/Core"},
+		Notes: []string{
+			"wrapper = full SQL parse + plan + per-world PDB interpretation (paper: C# + MS SQL)",
+			"core = direct engine evaluation (paper: Ruby prototype)",
+			"UserSelect wrapper uses set-oriented bulk VG evaluation — the data-management win",
+		},
+	}
+	for _, r := range rows {
+		table.Rows = append(table.Rows, []string{
+			r.Model,
+			fmt.Sprintf("%.6f", r.WrapperSecPerPC),
+			fmt.Sprintf("%.6f", r.CoreSecPerPC),
+			fmtRatio(r.WrapperSecPerPC / r.CoreSecPerPC),
+		})
+	}
+	return rows, table, nil
+}
+
+// fig7Cases builds the four benchmark models with both execution
+// paths. Point lists are small slices of the full spaces: Fig. 7
+// reports per-point costs, which are flat across the space.
+func fig7Cases(cfg Config) ([]fig7Case, error) {
+	reg := blackbox.NewRegistry()
+	reg.MustRegister(blackbox.NewDemand())
+	reg.MustRegister(blackbox.NewCapacity())
+	reg.MustRegister(blackbox.NewOverload())
+	users := blackbox.NewUserSelection(cfg.Users, 0xD5)
+	reg.MustRegister(users)
+	reg.MustRegister(blackbox.UserUsage{})
+
+	worlds := pdb.WorldsOptions{Worlds: cfg.Samples, MasterSeed: cfg.MasterSeed}
+	engineOpts := mc.Options{
+		Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
+		MasterSeed: cfg.MasterSeed, Reuse: false, Workers: 1,
+	}
+
+	// Reusable wrapper runner: re-parse and re-plan per invocation, as
+	// the paper's wrapper re-invoked the SQL engine per subquery.
+	wrapperRun := func(src string, db *pdb.DB, p param.Point) {
+		script, err := sqlparse.Parse(src)
+		if err != nil {
+			panic(err)
+		}
+		plan, err := exec.BuildPDBPlan(script.Selects[0], db)
+		if err != nil {
+			panic(err)
+		}
+		params := map[string]float64(p)
+		if _, err := pdb.RunDistribution(plan, params, worlds); err != nil {
+			panic(err)
+		}
+	}
+	db := pdb.NewDB()
+	db.Boxes = reg
+
+	// Core runners: one naive engine per model (no reuse — Fig. 7
+	// compares substrates, not fingerprinting).
+	coreRun := func(box blackbox.Box, names ...string) func(param.Point) {
+		eng := mc.MustNew(engineOpts)
+		ev := mc.MustBindBox(box, names...)
+		return func(p param.Point) { eng.EvaluatePoint(ev, p) }
+	}
+
+	weekPoints := func(n int, mk func(i int) param.Point) []param.Point {
+		pts := make([]param.Point, 0, n)
+		for i := 0; i < n; i++ {
+			pts = append(pts, mk(i))
+		}
+		return pts
+	}
+	span := cfg.Weeks
+
+	demandPts := weekPoints(8, func(i int) param.Point {
+		return param.Point{"current_week": float64(i * span / 8), "feature_release": 12}
+	})
+	capacityPts := weekPoints(8, func(i int) param.Point {
+		return param.Point{"current_week": float64(i * span / 8), "purchase1": 8, "purchase2": 24}
+	})
+	userPts := weekPoints(3, func(i int) param.Point {
+		return param.Point{"current_week": float64(10 + i*10)}
+	})
+
+	// UserSelect wrapper: users table + bulk SUM(UserUsage(...)).
+	userTable := pdb.MustNewTable("join_week", "base", "growth", "vol")
+	for _, u := range users.Users {
+		userTable.MustAppend(pdb.Row{
+			pdb.Float(u.JoinWeek), pdb.Float(u.BaseCores),
+			pdb.Float(u.GrowthRate), pdb.Float(u.Volatility),
+		})
+	}
+	if err := db.CreateTable("users", userTable); err != nil {
+		return nil, err
+	}
+	scan, err := db.Scan("users")
+	if err != nil {
+		return nil, err
+	}
+	var bulkArgs []pdb.BoundExpr
+	for _, e := range []pdb.Expr{
+		pdb.Param{Name: "current_week"}, pdb.Col{Name: "join_week"},
+		pdb.Col{Name: "base"}, pdb.Col{Name: "growth"}, pdb.Col{Name: "vol"},
+	} {
+		b, err := e.Bind(scan.Schema(), db.Env())
+		if err != nil {
+			return nil, err
+		}
+		bulkArgs = append(bulkArgs, b)
+	}
+	bulkPlan := &pdb.BulkVGSumPlan{Source: userTable, Box: blackbox.UserUsage{}, Args: bulkArgs}
+
+	return []fig7Case{
+		{
+			name:   "Demand",
+			points: demandPts,
+			wrapper: func(p param.Point) {
+				wrapperRun(`SELECT DemandModel(@current_week, @feature_release) AS demand`, db, p)
+			},
+			core: coreRun(blackbox.NewDemand(), "current_week", "feature_release"),
+		},
+		{
+			name:   "Capacity",
+			points: capacityPts,
+			wrapper: func(p param.Point) {
+				wrapperRun(`SELECT CapacityModel(@current_week, @purchase1, @purchase2) AS capacity`, db, p)
+			},
+			core: coreRun(blackbox.NewCapacity(), "current_week", "purchase1", "purchase2"),
+		},
+		{
+			name:   "Overload",
+			points: capacityPts,
+			wrapper: func(p param.Point) {
+				wrapperRun(`SELECT DemandModel(@current_week, 99999) AS demand,
+				  CapacityModel(@current_week, @purchase1, @purchase2) AS capacity,
+				  CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload`, db, p)
+			},
+			core: coreRun(blackbox.NewOverload(), "current_week", "purchase1", "purchase2"),
+		},
+		{
+			name:   "UserSelect",
+			points: userPts,
+			wrapper: func(p param.Point) {
+				if _, err := bulkPlan.RunSummary(map[string]float64(p), worlds); err != nil {
+					panic(err)
+				}
+			},
+			core: coreRun(users, "current_week"),
+		},
+	}, nil
+}

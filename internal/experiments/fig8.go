@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/core"
+	"jigsaw/internal/markov"
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+)
+
+// Fig8Row is one bar pair of Fig. 8: total computation time with and
+// without fingerprinting.
+type Fig8Row struct {
+	Model string
+	// FullSec is the naive generate-everything baseline.
+	FullSec float64
+	// JigsawSec is the fingerprint-reuse run.
+	JigsawSec float64
+	// Bases is the number of basis distributions Jigsaw accumulated.
+	Bases int
+	// Points is the number of parameter points (or chain steps for
+	// MarkovStep).
+	Points int
+}
+
+// Speedup returns FullSec/JigsawSec.
+func (r Fig8Row) Speedup() float64 {
+	if r.JigsawSec == 0 {
+		return math.Inf(1)
+	}
+	return r.FullSec / r.JigsawSec
+}
+
+// usageBox is the Fig. 8 "Usage" workload: UserSelection with a
+// shared cohort growth curve, so weekly totals are scale images of one
+// another and the model admits heavy reuse (the paper's Usage bar
+// drops to 0.06 min). Per-user volatility keeps the distribution
+// non-trivial.
+type usageBox struct {
+	users  []blackbox.User
+	growth float64
+}
+
+func newUsageBox(n int, seed uint64) *usageBox {
+	return &usageBox{users: blackbox.GenerateUsers(n, seed), growth: 1.01}
+}
+
+// Name implements blackbox.Box.
+func (*usageBox) Name() string { return "Usage" }
+
+// Arity implements blackbox.Box.
+func (*usageBox) Arity() int { return 1 }
+
+// Eval implements blackbox.Box: total usage with shared growth; every
+// user is active from week 0 so the week enters only as the common
+// factor growth^week.
+func (u *usageBox) Eval(args []float64, r *rng.Rand) float64 {
+	week := args[0]
+	g := math.Pow(u.growth, week)
+	total := 0.0
+	for i := range u.users {
+		total += u.users[i].BaseCores * g * r.LogNormal(0, u.users[i].Volatility)
+	}
+	return total
+}
+
+// Figure8 reproduces the §6.2 baseline-performance comparison: each
+// workload evaluated over its full parameter space with fingerprinting
+// on and off.
+func Figure8(cfg Config) ([]Fig8Row, *Table, error) {
+	cfg = cfg.withDefaults()
+
+	type workload struct {
+		name string
+		run  func(reuse bool) (points, bases int)
+	}
+	engineOpts := func(reuse bool) mc.Options {
+		return mc.Options{
+			Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
+			MasterSeed: cfg.MasterSeed, Reuse: reuse, Workers: 1,
+			// StrictConstants reproduces Algorithm 2 literally:
+			// constant fingerprints never match, which is what caps
+			// Overload's gain at ~2× in the paper (its boolean output
+			// floods the space with constant fingerprints that a
+			// strict matcher cannot reuse).
+			Class: core.LinearClass{StrictConstants: true},
+		}
+	}
+	weekDecl := func() param.Decl {
+		d, err := param.Range("current_week", 0, float64(cfg.Weeks), 1)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	purchaseDecl := func(name string) param.Decl {
+		d, err := param.Range(name, 0, float64(cfg.Weeks), float64(cfg.PurchaseStep))
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+
+	sweep := func(box blackbox.Box, space *param.Space, names ...string) func(bool) (int, int) {
+		return func(reuse bool) (int, int) {
+			eng := mc.MustNew(engineOpts(reuse))
+			ev := mc.MustBindBox(box, names...)
+			_, st, err := eng.Sweep(ev, space)
+			if err != nil {
+				panic(err)
+			}
+			return st.Points, st.Store.Bases
+		}
+	}
+
+	usage := newUsageBox(cfg.Users/4, 0xD5) // quarter dataset: Usage sweeps many points
+	usageSpace := param.MustSpace(weekDecl())
+	capacitySpace := param.MustSpace(weekDecl(), purchaseDecl("purchase1"), purchaseDecl("purchase2"))
+
+	markovSteps := cfg.MarkovSteps * 4 // Fig. 8 evaluates MarkovStep over a long chain
+	markovRun := func(reuse bool) (int, int) {
+		chain := markov.NewDemandReleaseChain()
+		opts := markov.JumpOptions{
+			Instances:      cfg.MarkovInstances,
+			FingerprintLen: cfg.FingerprintLen,
+			MasterSeed:     cfg.MasterSeed,
+		}
+		if reuse {
+			_, st, err := markov.Jump(chain, markovSteps, opts)
+			if err != nil {
+				panic(err)
+			}
+			return markovSteps, st.Regions
+		}
+		_, _, err := markov.NaiveEvaluate(chain, markovSteps, opts)
+		if err != nil {
+			panic(err)
+		}
+		return markovSteps, 0
+	}
+
+	workloads := []workload{
+		{"Usage", sweep(usage, usageSpace, "current_week")},
+		{"Capacity", sweep(blackbox.NewCapacity(), capacitySpace, "current_week", "purchase1", "purchase2")},
+		{"Overload", sweep(blackbox.NewOverload(), capacitySpace, "current_week", "purchase1", "purchase2")},
+		{"MarkovStep", markovRun},
+	}
+
+	var rows []Fig8Row
+	for _, w := range workloads {
+		var points, bases int
+		full := timeIt(cfg.Trials, func() { points, _ = w.run(false) })
+		jig := timeIt(cfg.Trials, func() { points, bases = w.run(true) })
+		rows = append(rows, Fig8Row{
+			Model:     w.name,
+			FullSec:   full.Seconds(),
+			JigsawSec: jig.Seconds(),
+			Bases:     bases,
+			Points:    points,
+		})
+	}
+
+	table := &Table{
+		Title:   "Figure 8: Jigsaw vs fully exploring the parameter space",
+		Columns: []string{"Model", "Full s", "Jigsaw s", "Speedup", "Bases", "Points"},
+		Notes: []string{
+			"paper reports minutes on 2008 hardware; compare speedup shape, not absolutes",
+			"Overload's boolean output limits reuse (paper: ~2x); MarkovStep bases column = estimator regions",
+		},
+	}
+	for _, r := range rows {
+		table.Rows = append(table.Rows, []string{
+			r.Model, fmtSeconds(time.Duration(r.FullSec * float64(time.Second))),
+			fmtSeconds(time.Duration(r.JigsawSec * float64(time.Second))),
+			fmtRatio(r.Speedup()), fmt.Sprint(r.Bases), fmt.Sprint(r.Points),
+		})
+	}
+	return rows, table, nil
+}

@@ -1,0 +1,282 @@
+package interactive
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+)
+
+// linearEval is affine in "week": all points share one basis.
+func linearEval(p param.Point, r *rng.Rand) float64 {
+	w := p.MustGet("week")
+	return r.Normal(2*w, 0.5*w+1)
+}
+
+// forkEval switches distributions at week 10 in a way that linear
+// mappings cannot absorb (noise from different draw counts), forcing
+// distinct bases and exercising validation.
+func forkEval(p param.Point, r *rng.Rand) float64 {
+	w := p.MustGet("week")
+	if w < 10 {
+		return r.Normal(w, 1)
+	}
+	a := r.Normal(0, 1)
+	b := r.Normal(w, 2)
+	return a*a + b
+}
+
+func newTestSession(t *testing.T, eval mc.PointEval, lo, hi float64) *Session {
+	t.Helper()
+	d, err := param.Range("week", lo, hi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(eval, param.MustSpace(d), Options{MasterSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	d, _ := param.Range("week", 0, 5, 1)
+	space := param.MustSpace(d)
+	if _, err := NewSession(nil, space, Options{}); err == nil {
+		t.Fatal("nil eval accepted")
+	}
+	if _, err := NewSession(linearEval, nil, Options{}); err == nil {
+		t.Fatal("nil space accepted")
+	}
+}
+
+func TestTickRequiresFocus(t *testing.T) {
+	s := newTestSession(t, linearEval, 0, 5)
+	if _, _, err := s.Tick(); err != ErrNoFocus {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSetFocusValidatesPoint(t *testing.T) {
+	s := newTestSession(t, linearEval, 0, 5)
+	if err := s.SetFocus(param.Point{"week": 99}); err == nil {
+		t.Fatal("off-domain focus accepted")
+	}
+	if err := s.SetFocus(param.Point{"week": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Focus().MustGet("week") != 3 {
+		t.Fatal("focus not recorded")
+	}
+}
+
+func TestImmediateEstimateAfterFocus(t *testing.T) {
+	s := newTestSession(t, linearEval, 1, 20)
+	if err := s.SetFocus(param.Point{"week": 5}); err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := s.Estimate(param.Point{"week": 5})
+	if !ok {
+		t.Fatal("no estimate after focus")
+	}
+	if sum.N < 10 {
+		t.Fatalf("initial estimate from %d samples", sum.N)
+	}
+	if _, ok := s.Estimate(param.Point{"week": 19}); ok {
+		t.Fatal("estimate for untouched point")
+	}
+}
+
+func TestSecondPointReusesBasisInstantly(t *testing.T) {
+	s := newTestSession(t, linearEval, 1, 20)
+	if err := s.SetFocus(param.Point{"week": 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Refine week 5 for a while.
+	for i := 0; i < 30; i++ {
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evalsBefore := s.Stats().Evaluations
+	if err := s.SetFocus(param.Point{"week": 12}); err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := s.Estimate(param.Point{"week": 12})
+	if !ok {
+		t.Fatal("no estimate for mapped point")
+	}
+	// The initial guess costs only a fingerprint (10 draws) but
+	// inherits the basis pool accumulated for week 5.
+	cost := s.Stats().Evaluations - evalsBefore
+	if cost > s.opts.FingerprintLen {
+		t.Fatalf("second point cost %d evaluations", cost)
+	}
+	if sum.N < 50 {
+		t.Fatalf("mapped estimate uses only %d samples", sum.N)
+	}
+	// And the estimate is in the right place: E ≈ 24.
+	if math.Abs(sum.Mean-24) > 3 {
+		t.Fatalf("mapped mean = %g, want ~24", sum.Mean)
+	}
+	if s.Stats().Bases != 1 {
+		t.Fatalf("bases = %d, want 1", s.Stats().Bases)
+	}
+}
+
+func TestRefinementSharpensEstimate(t *testing.T) {
+	s := newTestSession(t, linearEval, 1, 20)
+	if err := s.SetFocus(param.Point{"week": 8}); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := s.Estimate(param.Point{"week": 8})
+	for i := 0; i < 60; i++ {
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	later, _ := s.Estimate(param.Point{"week": 8})
+	if later.N <= first.N {
+		t.Fatalf("refinement did not grow the pool: %d -> %d", first.N, later.N)
+	}
+	ciFirst, _ := first.ConfidenceInterval(0.95)
+	ciLater, _ := later.ConfidenceInterval(0.95)
+	if ciLater >= ciFirst {
+		t.Fatalf("confidence interval did not shrink: %g -> %g", ciFirst, ciLater)
+	}
+}
+
+func TestTaskRotation(t *testing.T) {
+	s := newTestSession(t, linearEval, 1, 20)
+	if err := s.SetFocus(param.Point{"week": 10}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Task]bool{}
+	for i := 0; i < 9; i++ {
+		task, _, err := s.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[task] = true
+	}
+	for _, task := range []Task{TaskRefinement, TaskValidation, TaskExploration} {
+		if !seen[task] {
+			t.Fatalf("task %v never scheduled", task)
+		}
+	}
+	st := s.Stats()
+	if st.Refinements == 0 || st.Validations == 0 || st.Explorations == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExplorationPrefetchesNeighbors(t *testing.T) {
+	s := newTestSession(t, linearEval, 1, 20)
+	if err := s.SetFocus(param.Point{"week": 10}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both neighbors of 10 should have estimates by now.
+	if _, ok := s.Estimate(param.Point{"week": 9}); !ok {
+		t.Fatal("neighbor 9 not prefetched")
+	}
+	if _, ok := s.Estimate(param.Point{"week": 11}); !ok {
+		t.Fatal("neighbor 11 not prefetched")
+	}
+}
+
+func TestValidationDetachesFalseMatch(t *testing.T) {
+	// forkEval's two regimes can produce fingerprints that match by
+	// accident at m=10 but diverge on later samples; after enough
+	// validation ticks every surviving mapping must be genuine. Run on
+	// both sides of the fork and require that cross-regime points do
+	// not share a basis at the end.
+	d, _ := param.Range("week", 8, 12, 1)
+	s, err := NewSession(forkEval, param.MustSpace(d), Options{MasterSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{8, 9, 10, 11, 12} {
+		if err := s.SetFocus(param.Point{"week": w}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			if _, _, err := s.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	left := s.points[param.Point{"week": 8}.Key()]
+	right := s.points[param.Point{"week": 12}.Key()]
+	if left.basisID == right.basisID {
+		t.Fatal("cross-regime points share a basis after validation")
+	}
+	// Estimates track the true means (8 and ~13 = 12+E[a²]).
+	le, _ := s.Estimate(param.Point{"week": 8})
+	re, _ := s.Estimate(param.Point{"week": 12})
+	if math.Abs(le.Mean-8) > 1.5 {
+		t.Fatalf("left estimate %g, want ~8", le.Mean)
+	}
+	if math.Abs(re.Mean-13) > 2.5 {
+		t.Fatalf("right estimate %g, want ~13", re.Mean)
+	}
+}
+
+func TestSinglePointSpaceExploration(t *testing.T) {
+	d, _ := param.Range("week", 5, 5, 1)
+	s, err := NewSession(linearEval, param.MustSpace(d), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFocus(param.Point{"week": 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Exploration has no neighbors; the tick must degrade to
+	// refinement rather than error or loop.
+	for i := 0; i < 6; i++ {
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, _ := s.Estimate(param.Point{"week": 5})
+	if sum.N <= 10 {
+		t.Fatalf("pool did not grow: %d", sum.N)
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if TaskRefinement.String() != "refinement" ||
+		TaskValidation.String() != "validation" ||
+		TaskExploration.String() != "exploration" {
+		t.Fatal("task strings broken")
+	}
+	if !strings.Contains(Task(9).String(), "9") {
+		t.Fatal("unknown task string")
+	}
+}
+
+func TestEstimateDeterministicGivenTicks(t *testing.T) {
+	run := func() float64 {
+		s := newTestSession(t, linearEval, 1, 20)
+		if err := s.SetFocus(param.Point{"week": 7}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 15; i++ {
+			if _, _, err := s.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum, _ := s.Estimate(param.Point{"week": 7})
+		return sum.Mean
+	}
+	if run() != run() {
+		t.Fatal("session not deterministic under fixed seed")
+	}
+}

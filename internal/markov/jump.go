@@ -1,0 +1,285 @@
+package markov
+
+import (
+	"errors"
+
+	"jigsaw/internal/core"
+	"jigsaw/internal/rng"
+)
+
+// JumpOptions configures Evaluate and Jump.
+type JumpOptions struct {
+	// Instances is n, the number of Monte Carlo instances.
+	Instances int
+	// FingerprintLen is m, the number of instances used for
+	// fingerprint comparison (m ≤ n).
+	FingerprintLen int
+	// MasterSeed derives all per-(instance, step) seeds.
+	MasterSeed uint64
+	// Class is the mapping class used to compare estimator and chain
+	// fingerprints (default linear).
+	Class core.MappingClass
+	// Tolerance is the mapping validation tolerance.
+	Tolerance float64
+}
+
+func (o JumpOptions) withDefaults() JumpOptions {
+	if o.Instances == 0 {
+		o.Instances = 1000
+	}
+	if o.FingerprintLen == 0 {
+		o.FingerprintLen = 10
+	}
+	if o.Class == nil {
+		o.Class = core.LinearClass{}
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = core.DefaultTolerance
+	}
+	return o
+}
+
+// JumpStats records the work performed, in chain-step invocations —
+// the currency of Fig. 12 (ms/step is proportional to invocations per
+// step for a fixed model).
+type JumpStats struct {
+	// FingerprintSteps counts Step calls advancing fingerprint
+	// instances through the walked region (m per walked step).
+	FingerprintSteps int
+	// EstimatorEvals counts Step calls made to evaluate the
+	// synthesized estimator (checkpoint comparisons and binary
+	// search).
+	EstimatorEvals int
+	// RebuildEvals counts Step calls regenerating full state through
+	// the estimator at a validated step.
+	RebuildEvals int
+	// FullStepEvals counts Step calls advancing the full instance set
+	// one step at a time through estimator-invalid regions.
+	FullStepEvals int
+	// Rebuilds is the number of estimator-based jumps taken.
+	Rebuilds int
+	// Regions is the number of estimator regions consumed (estimator
+	// re-synthesis count).
+	Regions int
+}
+
+// TotalStepInvocations sums every chain Step call.
+func (s JumpStats) TotalStepInvocations() int {
+	return s.FingerprintSteps + s.EstimatorEvals + s.RebuildEvals + s.FullStepEvals
+}
+
+// NaiveEvaluate advances all n instances through every step — the
+// "Naive" baseline of Fig. 12. Each (instance, step) uses the same
+// seed Jump would use, so results are directly comparable.
+func NaiveEvaluate(c Chain, target int, opts JumpOptions) ([]State, JumpStats, error) {
+	opts = opts.withDefaults()
+	if target < 0 {
+		return nil, JumpStats{}, errors.New("markov: negative target step")
+	}
+	states := initialStates(c, opts.Instances)
+	var st JumpStats
+	var r rng.Rand
+	for s := 1; s <= target; s++ {
+		for i := range states {
+			r.Seed(stepSeed(opts.MasterSeed, i, s))
+			next := c.Step(s, states[i], &r)
+			validateState(next, states[i], "Step")
+			states[i] = next
+			st.FullStepEvals++
+		}
+	}
+	return states, st, nil
+}
+
+// Jump implements Algorithm 4 (MarkovJump). It maintains the full
+// instance set only at "rebuild" points; between them it advances just
+// the m fingerprint instances, repeatedly comparing their fingerprint
+// against a synthesized non-Markovian estimator (the chain's step
+// function with its input state frozen at the last rebuild — §4.2).
+// Checkpoint spacing doubles while the estimator stays mappable; on a
+// mismatch a binary search locates the last mappable step, the full
+// state is regenerated there through the estimator and the validated
+// mapping, and the process repeats.
+//
+// Validity is established on the fingerprint instances and — as in the
+// paper — extrapolated to all n instances; the false-positive
+// probability decays with m. For chains whose estimator is exact
+// within a region (the paper's event-style models), Jump's final
+// states equal NaiveEvaluate's exactly.
+func Jump(c Chain, target int, opts JumpOptions) ([]State, JumpStats, error) {
+	opts = opts.withDefaults()
+	if target < 0 {
+		return nil, JumpStats{}, errors.New("markov: negative target step")
+	}
+	if opts.FingerprintLen > opts.Instances {
+		return nil, JumpStats{}, errors.New("markov: fingerprint length exceeds instance count")
+	}
+	m := opts.FingerprintLen
+	states := initialStates(c, opts.Instances)
+	var st JumpStats
+	var r rng.Rand
+
+	base := 0
+	for base < target {
+		st.Regions++
+		// Freeze the estimator at the current rebuild point (§4.2).
+		frozen := cloneStates(states)
+
+		// est evaluates the synthesized estimator for instance i at
+		// step s: one chain step from the frozen state, using the same
+		// seed the true chain would use at (i, s).
+		est := func(i, s int) State {
+			r.Seed(stepSeed(opts.MasterSeed, i, s))
+			st.EstimatorEvals++
+			return c.Step(s, frozen[i], &r)
+		}
+		estFingerprint := func(s int) core.Fingerprint {
+			fp := make(core.Fingerprint, m)
+			for i := 0; i < m; i++ {
+				fp[i] = c.Output(est(i, s))
+			}
+			return fp
+		}
+
+		// Walk the fingerprint instances forward, recording the true
+		// fingerprint at every step for checkpoint and binary-search
+		// comparisons.
+		fpStates := cloneStates(states[:m])
+		trueFp := map[int]core.Fingerprint{}
+		advanceTo := func(s int) { // advance fpStates up to step s
+			for cur := lastRecorded(trueFp, base); cur < s; cur++ {
+				next := cur + 1
+				fp := make(core.Fingerprint, m)
+				for i := 0; i < m; i++ {
+					r.Seed(stepSeed(opts.MasterSeed, i, next))
+					ns := c.Step(next, fpStates[i], &r)
+					validateState(ns, fpStates[i], "Step")
+					fpStates[i] = ns
+					fp[i] = c.Output(ns)
+					st.FingerprintSteps++
+				}
+				trueFp[next] = fp
+			}
+		}
+		tryStep := func(s int) (core.Mapping, bool) {
+			return opts.Class.Find(estFingerprint(s), trueFp[s], opts.Tolerance)
+		}
+
+		lastValid := base
+		var lastMapping core.Mapping
+		gap := 1
+		s := base
+		finished := false
+		for {
+			s += gap
+			if s > target {
+				s = target
+			}
+			advanceTo(s)
+			if mapping, ok := tryStep(s); ok {
+				lastValid, lastMapping = s, mapping
+				if s >= target {
+					// Estimator valid through the target: rebuild
+					// there and finish (Algorithm 4, lines 6–7).
+					states = rebuild(c, est, mapping, frozen, s, &st)
+					base = s
+					finished = true
+					break
+				}
+				gap *= 2
+				continue
+			}
+			// Mismatch at s: backtrack to the last mappable step
+			// (Algorithm 4, line 11).
+			v, vm := binarySearch(lastValid, s, lastMapping, tryStep)
+			if v <= base || vm == nil {
+				// Estimator invalid immediately: advance the full
+				// instance set one true step (line 12).
+				next := base + 1
+				advanceTo(next) // keep fingerprint history aligned
+				for i := range states {
+					r.Seed(stepSeed(opts.MasterSeed, i, next))
+					states[i] = c.Step(next, states[i], &r)
+					st.FullStepEvals++
+				}
+				base = next
+			} else {
+				states = rebuild(c, est, vm, frozen, v, &st)
+				base = v
+			}
+			break
+		}
+		if finished {
+			break
+		}
+	}
+	return states, st, nil
+}
+
+// rebuild regenerates the full instance set at step s through the
+// estimator and the validated mapping (Algorithm 4, line 13:
+// state ← M(Fest(state))).
+func rebuild(c Chain, est func(i, s int) State, m core.Mapping, frozen []State, s int, st *JumpStats) []State {
+	out := make([]State, len(frozen))
+	for i := range frozen {
+		es := est(i, s)
+		st.RebuildEvals++
+		st.EstimatorEvals-- // est() already counted it; reclassify
+		out[i] = c.ApplyMapping(m, es)
+	}
+	st.Rebuilds++
+	return out
+}
+
+// binarySearch finds the largest step in [lo, hi) for which tryStep
+// yields a mapping, given that lo is known valid (mapping loMap, nil
+// when lo is the region base) and hi is known invalid.
+func binarySearch(lo, hi int, loMap core.Mapping, tryStep func(int) (core.Mapping, bool)) (int, core.Mapping) {
+	bestMap := loMap
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if mapping, ok := tryStep(mid); ok {
+			lo, bestMap = mid, mapping
+		} else {
+			hi = mid
+		}
+	}
+	return lo, bestMap
+}
+
+// lastRecorded returns the highest step with a recorded fingerprint,
+// or base when none is recorded yet.
+func lastRecorded(m map[int]core.Fingerprint, base int) int {
+	last := base
+	for s := range m {
+		if s > last {
+			last = s
+		}
+	}
+	return last
+}
+
+func initialStates(c Chain, n int) []State {
+	states := make([]State, n)
+	for i := range states {
+		states[i] = c.Initial()
+	}
+	return states
+}
+
+func cloneStates(in []State) []State {
+	out := make([]State, len(in))
+	for i := range in {
+		out[i] = in[i].Clone()
+	}
+	return out
+}
+
+// Outputs extracts the scalar outputs of a state set.
+func Outputs(c Chain, states []State) []float64 {
+	out := make([]float64, len(states))
+	for i, s := range states {
+		out[i] = c.Output(s)
+	}
+	return out
+}

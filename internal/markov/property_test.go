@@ -1,0 +1,104 @@
+package markov
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickEventChainJumpExact drives the lossless-jump property
+// across random event rates, schedules and seeds: correlated
+// discontinuities are always reconstructed exactly by the shift
+// mapping (the §4 structure).
+func TestQuickEventChainJumpExact(t *testing.T) {
+	f := func(seed uint64, rateRaw, magRaw uint8) bool {
+		rate := float64(rateRaw%40) / 400 // 0 .. ~0.1
+		mag := float64(magRaw%5) + 1
+		c := NewEventChain(rate, seed)
+		c.Magnitude = mag
+		opts := JumpOptions{Instances: 60, FingerprintLen: 8, MasterSeed: seed ^ 0xF00D}
+		const target = 80
+		jump, _, err := Jump(c, target, opts)
+		if err != nil {
+			return false
+		}
+		naive, _, err := NaiveEvaluate(c, target, opts)
+		if err != nil {
+			return false
+		}
+		for i := range jump {
+			if jump[i][0] != naive[i][0] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickJumpTerminates drives termination across arbitrary
+// branching factors and fingerprint sizes: Jump must return with the
+// correct instance count no matter how hostile the chain.
+func TestQuickJumpTerminates(t *testing.T) {
+	f := func(seed uint64, branchRaw, mRaw uint8) bool {
+		branching := float64(branchRaw) / 255 // 0..1, includes extremes
+		m := int(mRaw%8) + 2
+		n := m + int(mRaw%16)
+		c := NewBranchChain(branching)
+		states, _, err := Jump(c, 40, JumpOptions{
+			Instances: n, FingerprintLen: m, MasterSeed: seed,
+		})
+		return err == nil && len(states) == n
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJumpStatsAccounting checks the invocation bookkeeping: the
+// reported totals must equal the sum of the categories, and the naive
+// baseline must equal instances × steps exactly.
+func TestJumpStatsAccounting(t *testing.T) {
+	c := NewBranchChain(0.01)
+	opts := JumpOptions{Instances: 100, FingerprintLen: 10, MasterSeed: 5}
+	_, jst, err := Jump(c, 64, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := jst.FingerprintSteps + jst.EstimatorEvals + jst.RebuildEvals + jst.FullStepEvals
+	if jst.TotalStepInvocations() != sum {
+		t.Fatalf("total %d != category sum %d", jst.TotalStepInvocations(), sum)
+	}
+	_, nst, err := NaiveEvaluate(c, 64, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nst.FullStepEvals != 100*64 {
+		t.Fatalf("naive evals = %d, want %d", nst.FullStepEvals, 100*64)
+	}
+	if nst.FingerprintSteps != 0 || nst.EstimatorEvals != 0 || nst.Rebuilds != 0 {
+		t.Fatalf("naive stats polluted: %+v", nst)
+	}
+}
+
+// TestDemandReleaseEstimatorRegions sanity-checks that the Fig. 5
+// chain produces a small number of estimator regions: the release
+// transition is the only Markovian episode, so regions must stay far
+// below the step count.
+func TestDemandReleaseEstimatorRegions(t *testing.T) {
+	c := NewDemandReleaseChain()
+	opts := JumpOptions{Instances: 200, FingerprintLen: 10, MasterSeed: 2}
+	_, st, err := Jump(c, 104, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regions > 30 {
+		t.Fatalf("regions = %d for 104 steps; estimator not holding", st.Regions)
+	}
+	if st.Rebuilds == 0 {
+		t.Fatal("no jumps taken at all")
+	}
+}

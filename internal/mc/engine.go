@@ -1,0 +1,449 @@
+// Package mc implements Jigsaw's Monte Carlo subsystem — the dashed
+// box of Fig. 3 — together with the fingerprint-based work reuse of
+// §3: for each parameter point the engine computes a fingerprint (the
+// first m simulation rounds), probes the basis-distribution store, and
+// either maps an existing basis' metrics onto the point (a "hit") or
+// completes the remaining n−m rounds and registers a new basis.
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/core"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+	"jigsaw/internal/stats"
+)
+
+// PointEval evaluates one sample of the simulated quantity at a
+// parameter point; it is the stochastic function F(P, σ) of §3.1 with
+// the seed carried by the generator. The full Monte Carlo simulation of
+// Fig. 3's dashed box is "the stochastic function F" being
+// fingerprinted (§3: "Taken to one extreme, the entire Monte Carlo
+// simulation ... can be treated as the stochastic function F").
+type PointEval func(p param.Point, r *rng.Rand) float64
+
+// BindBox adapts a black box to a PointEval by binding its positional
+// arguments to named parameters.
+func BindBox(b blackbox.Box, argNames ...string) (PointEval, error) {
+	if len(argNames) != b.Arity() {
+		return nil, fmt.Errorf("mc: %s expects %d args, got %d names", b.Name(), b.Arity(), len(argNames))
+	}
+	names := append([]string(nil), argNames...)
+	return func(p param.Point, r *rng.Rand) float64 {
+		args := make([]float64, len(names))
+		for i, n := range names {
+			args[i] = p.MustGet(n)
+		}
+		return b.Eval(args, r)
+	}, nil
+}
+
+// MustBindBox is BindBox, panicking on arity mismatch.
+func MustBindBox(b blackbox.Box, argNames ...string) PointEval {
+	f, err := BindBox(b, argNames...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// IndexKind selects the fingerprint index strategy (§3.2).
+type IndexKind int
+
+const (
+	// IndexArray is the naive scan baseline.
+	IndexArray IndexKind = iota
+	// IndexNormalization hashes affine normal forms.
+	IndexNormalization
+	// IndexSortedSID hashes sorted sample-identifier sequences.
+	IndexSortedSID
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexArray:
+		return "Array"
+	case IndexNormalization:
+		return "Normalization"
+	case IndexSortedSID:
+		return "SortedSID"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// Options configures an Engine. The zero value is completed by
+// defaults matching the paper's experimental setup (§6): 1000 samples
+// per point, fingerprint length 10.
+type Options struct {
+	// Samples is n, the number of Monte Carlo rounds per point.
+	Samples int
+	// FingerprintLen is m; it must not exceed Samples.
+	FingerprintLen int
+	// MasterSeed derives the global seed set {σk}.
+	MasterSeed uint64
+	// Reuse enables fingerprint-based work reuse; disabled it yields
+	// the "Full Evaluation" baseline of Fig. 8.
+	Reuse bool
+	// Index selects the basis index strategy.
+	Index IndexKind
+	// Class is the mapping class (default linear).
+	Class core.MappingClass
+	// Tolerance is the mapping validation tolerance (default
+	// core.DefaultTolerance).
+	Tolerance float64
+	// KeepSamples retains raw samples in summaries and basis payloads
+	// (needed for quantiles, histograms, non-affine mapping classes,
+	// the interactive engine, and ValidationSamples).
+	KeepSamples bool
+	// ValidationSamples extends every successful fingerprint match
+	// with that many additional paired samples before trusting it —
+	// the batch-mode application of §5's "Validation" task. It guards
+	// against the §6.2 false-positive risk on indicator-style outputs,
+	// where m identical samples (e.g. ten zeros of a rare overload
+	// flag) can match a basis whose true distribution differs. Costs
+	// ValidationSamples extra evaluations per reused point; requires
+	// KeepSamples so bases retain their seed-aligned sample vectors.
+	// 0 (the default) reproduces the paper's behavior exactly.
+	ValidationSamples int
+	// HistBins adds an equi-width histogram to summaries when
+	// KeepSamples is set.
+	HistBins int
+	// Workers bounds the sample-generation worker pool; 0 means
+	// GOMAXPROCS, 1 forces sequential evaluation.
+	Workers int
+}
+
+// withDefaults returns a copy with unset fields defaulted.
+func (o Options) withDefaults() Options {
+	if o.Samples == 0 {
+		o.Samples = 1000
+	}
+	if o.FingerprintLen == 0 {
+		o.FingerprintLen = 10
+	}
+	if o.Class == nil {
+		o.Class = core.LinearClass{}
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = core.DefaultTolerance
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// newIndex instantiates the configured index strategy.
+func (o Options) newIndex() core.Index {
+	switch o.Index {
+	case IndexNormalization:
+		return core.NewNormalizationIndex(6, o.Tolerance)
+	case IndexSortedSID:
+		return core.NewSortedSIDIndex(o.Tolerance, true)
+	default:
+		return core.NewArrayIndex()
+	}
+}
+
+// BasisPayload is what the engine stores with each basis distribution:
+// the summary metrics plus (optionally) the raw samples behind them.
+type BasisPayload struct {
+	// Summary holds the estimator output oi for the basis point.
+	Summary stats.Summary
+	// Samples holds the raw draws when Options.KeepSamples is set.
+	Samples []float64
+}
+
+// PointResult is the engine's answer for one parameter point.
+type PointResult struct {
+	// Point is the evaluated parameter valuation.
+	Point param.Point
+	// Summary is the estimated output distribution characteristics.
+	Summary stats.Summary
+	// Reused reports whether the result was mapped from a basis
+	// rather than fully simulated.
+	Reused bool
+	// BasisID identifies the basis used (or created).
+	BasisID int
+	// Mapping is the applied mapping for reused results (nil
+	// otherwise).
+	Mapping core.Mapping
+}
+
+// Engine evaluates parameter points with optional fingerprint reuse.
+// An Engine is not safe for concurrent use; its internal worker pool
+// parallelizes within a point evaluation.
+type Engine struct {
+	opts  Options
+	seeds *rng.SeedSet
+	store *core.Store
+
+	fullSims int
+	reused   int
+}
+
+// New constructs an engine.
+func New(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if opts.FingerprintLen > opts.Samples {
+		return nil, fmt.Errorf("mc: fingerprint length %d exceeds sample count %d",
+			opts.FingerprintLen, opts.Samples)
+	}
+	seeds, err := rng.NewSeedSet(opts.MasterSeed, opts.FingerprintLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		opts:  opts,
+		seeds: seeds,
+		store: core.NewStore(opts.Class, opts.newIndex(), opts.Tolerance),
+	}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(opts Options) *Engine {
+	e, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Store exposes the basis store (read-only use by callers: experiment
+// reporting, interactive engine bootstrap).
+func (e *Engine) Store() *core.Store { return e.store }
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Seeds returns the engine's global seed set.
+func (e *Engine) Seeds() *rng.SeedSet { return e.seeds }
+
+// Fingerprint computes the fingerprint of f at p — the first m
+// simulation rounds (§3.1).
+func (e *Engine) Fingerprint(f PointEval, p param.Point) core.Fingerprint {
+	return core.Compute(func(seed uint64) float64 {
+		return f(p, rng.New(seed))
+	}, e.seeds)
+}
+
+// EvaluatePoint runs the Monte Carlo estimation for one point,
+// reusing a basis distribution when the store yields a mapping.
+func (e *Engine) EvaluatePoint(f PointEval, p param.Point) PointResult {
+	fp := e.Fingerprint(f, p)
+
+	if e.opts.Reuse {
+		if basis, mapping, ok := e.store.Match(fp); ok {
+			if e.validateMatch(f, p, basis, mapping) {
+				if res, ok := e.mapBasis(basis, mapping, p); ok {
+					e.reused++
+					return res
+				}
+			}
+		}
+	}
+
+	res, samples := e.fullSimulation(f, p, fp)
+	if e.opts.Reuse {
+		payload := &BasisPayload{Summary: res.Summary}
+		if e.opts.KeepSamples {
+			payload.Samples = samples
+		}
+		basis, err := e.store.Add(fp, p.Key(), payload)
+		if err == nil {
+			res.BasisID = basis.ID
+		}
+	}
+	e.fullSims++
+	return res
+}
+
+// validateMatch extends a fingerprint match with additional paired
+// samples (seed-aligned between basis and target) and re-validates the
+// mapping on them. With ValidationSamples == 0, or when the basis
+// lacks retained samples, the match is trusted as-is (the paper's
+// behavior).
+func (e *Engine) validateMatch(f PointEval, p param.Point, basis *core.Basis, mapping core.Mapping) bool {
+	k := e.opts.ValidationSamples
+	if k <= 0 {
+		return true
+	}
+	payload, _ := basis.Payload.(*BasisPayload)
+	if payload == nil || len(payload.Samples) == 0 {
+		return true
+	}
+	m := e.opts.FingerprintLen
+	hi := m + k
+	if hi > len(payload.Samples) {
+		hi = len(payload.Samples)
+	}
+	if hi <= m {
+		return true
+	}
+	seeds := e.seeds.StreamSeeds(e.opts.MasterSeed, hi)
+	var r rng.Rand
+	for i := m; i < hi; i++ {
+		r.Seed(seeds[i])
+		target := f(p, &r)
+		if !approxEqualValidation(mapping.Apply(payload.Samples[i]), target, e.opts.Tolerance) {
+			return false
+		}
+	}
+	return true
+}
+
+// approxEqualValidation mirrors core's relative comparison for the
+// validation loop.
+func approxEqualValidation(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := 1.0
+	if ab := abs(a); ab > scale {
+		scale = ab
+	}
+	if bb := abs(b); bb > scale {
+		scale = bb
+	}
+	return abs(a-b) <= tol*scale
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// mapBasis derives the point's result from a matched basis. Affine
+// mappings push through the summary exactly; other mapping classes
+// fall back to mapping retained samples point-wise. A basis that
+// supports neither path is reported unusable (ok=false) and the
+// caller runs the full simulation.
+func (e *Engine) mapBasis(basis *core.Basis, mapping core.Mapping, p param.Point) (PointResult, bool) {
+	payload, _ := basis.Payload.(*BasisPayload)
+	if payload == nil {
+		return PointResult{}, false
+	}
+	if aff, ok := mapping.(core.Affine); ok {
+		alpha, beta := aff.Coefficients()
+		return PointResult{
+			Point:   p,
+			Summary: payload.Summary.MapAffine(alpha, beta),
+			Reused:  true,
+			BasisID: basis.ID,
+			Mapping: mapping,
+		}, true
+	}
+	if len(payload.Samples) > 0 {
+		acc := stats.NewAccumulator(e.opts.KeepSamples)
+		for _, x := range payload.Samples {
+			acc.Add(mapping.Apply(x))
+		}
+		return PointResult{
+			Point:   p,
+			Summary: acc.Summarize(e.opts.HistBins),
+			Reused:  true,
+			BasisID: basis.ID,
+			Mapping: mapping,
+		}, true
+	}
+	return PointResult{}, false
+}
+
+// fullSimulation runs all n rounds: the fingerprint rounds are reused
+// as the first m samples, the remainder is drawn from the extended
+// seed stream, optionally in parallel (MCDB evaluates sampled worlds
+// in parallel, §2.1). Results are deterministic regardless of worker
+// count because each sample's seed depends only on its id. The raw
+// sample vector is returned for basis-payload retention.
+func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint) (PointResult, []float64) {
+	n := e.opts.Samples
+	samples := make([]float64, n)
+	copy(samples, fp)
+
+	seeds := e.seeds.StreamSeeds(e.opts.MasterSeed, n)
+	rest := samples[len(fp):]
+	restSeeds := seeds[len(fp):]
+
+	workers := e.opts.Workers
+	if workers > 1 && len(rest) >= 256 {
+		var wg sync.WaitGroup
+		chunk := (len(rest) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(rest) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(rest) {
+				hi = len(rest)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				var r rng.Rand
+				for i := lo; i < hi; i++ {
+					r.Seed(restSeeds[i])
+					rest[i] = f(p, &r)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		var r rng.Rand
+		for i := range rest {
+			r.Seed(restSeeds[i])
+			rest[i] = f(p, &r)
+		}
+	}
+
+	acc := stats.NewAccumulator(e.opts.KeepSamples)
+	acc.AddAll(samples)
+	return PointResult{Point: p, Summary: acc.Summarize(e.opts.HistBins), BasisID: -1}, samples
+}
+
+// SweepStats aggregates reuse accounting for a parameter sweep.
+type SweepStats struct {
+	// Points is the number of points evaluated.
+	Points int
+	// FullSimulations counts points simulated end to end.
+	FullSimulations int
+	// Reused counts points answered from a mapped basis.
+	Reused int
+	// Store carries the basis-store counters.
+	Store core.StoreStats
+}
+
+// Sweep evaluates every point of the space in enumeration order and
+// returns per-point results plus reuse statistics. This is Jigsaw's
+// batch-mode inner loop (Fig. 3): Parameter Enumerator → PDB → basis
+// reuse.
+func (e *Engine) Sweep(f PointEval, space *param.Space) ([]PointResult, SweepStats, error) {
+	if space == nil {
+		return nil, SweepStats{}, errors.New("mc: nil parameter space")
+	}
+	results := make([]PointResult, 0, space.Size())
+	space.Each(func(p param.Point) bool {
+		results = append(results, e.EvaluatePoint(f, p))
+		return true
+	})
+	return results, e.Stats(len(results)), nil
+}
+
+// Stats returns sweep statistics with the given point count.
+func (e *Engine) Stats(points int) SweepStats {
+	return SweepStats{
+		Points:          points,
+		FullSimulations: e.fullSims,
+		Reused:          e.reused,
+		Store:           e.store.Stats(),
+	}
+}

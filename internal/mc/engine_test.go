@@ -1,0 +1,274 @@
+package mc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+)
+
+// gaussEval is a PointEval drawing N(week, (0.1*week)^2+1): affine in
+// the week parameter under a fixed seed, so every point maps onto one
+// basis.
+func gaussEval(p param.Point, r *rng.Rand) float64 {
+	w := p.MustGet("week")
+	return r.Normal(w, 0.1*w+1)
+}
+
+func weekSpace(t *testing.T, lo, hi, step float64) *param.Space {
+	t.Helper()
+	d, err := param.Range("week", lo, hi, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return param.MustSpace(d)
+}
+
+func TestBindBox(t *testing.T) {
+	f, err := BindBox(blackbox.NewDemand(), "week", "feature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := param.Point{"week": 10, "feature": 52}
+	a := f(p, rng.New(3))
+	b := blackbox.NewDemand().Eval([]float64{10, 52}, rng.New(3))
+	if a != b {
+		t.Fatalf("bound eval %g != direct eval %g", a, b)
+	}
+	if _, err := BindBox(blackbox.NewDemand(), "week"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestMustBindBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBindBox did not panic")
+		}
+	}()
+	MustBindBox(blackbox.NewDemand(), "week")
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	e := MustNew(Options{})
+	o := e.Options()
+	if o.Samples != 1000 || o.FingerprintLen != 10 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if o.Class.Name() != "linear" {
+		t.Fatal("default class not linear")
+	}
+	if e.Seeds().Len() != 10 {
+		t.Fatal("seed set length wrong")
+	}
+}
+
+func TestNewRejectsFingerprintLongerThanSamples(t *testing.T) {
+	if _, err := New(Options{Samples: 5, FingerprintLen: 10}); err == nil {
+		t.Fatal("m > n accepted")
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	if IndexArray.String() != "Array" ||
+		IndexNormalization.String() != "Normalization" ||
+		IndexSortedSID.String() != "SortedSID" {
+		t.Fatal("IndexKind strings broken")
+	}
+	if !strings.Contains(IndexKind(9).String(), "9") {
+		t.Fatal("unknown IndexKind string")
+	}
+}
+
+func TestEvaluatePointFullSimulation(t *testing.T) {
+	e := MustNew(Options{Samples: 2000, Reuse: false, Workers: 1})
+	res := e.EvaluatePoint(gaussEval, param.Point{"week": 20})
+	if res.Reused {
+		t.Fatal("reuse disabled but result reused")
+	}
+	if res.Summary.N != 2000 {
+		t.Fatalf("N = %d", res.Summary.N)
+	}
+	if math.Abs(res.Summary.Mean-20) > 0.3 {
+		t.Fatalf("mean = %g, want ~20", res.Summary.Mean)
+	}
+	if math.Abs(res.Summary.StdDev-3) > 0.2 {
+		t.Fatalf("stddev = %g, want ~3", res.Summary.StdDev)
+	}
+}
+
+func TestReuseProducesExactMappedMetrics(t *testing.T) {
+	// The §6.2 accuracy claim: reused outputs equal full simulation,
+	// because the mapping is exact for affine-related points.
+	reuse := MustNew(Options{Samples: 500, Reuse: true, Workers: 1})
+	naive := MustNew(Options{Samples: 500, Reuse: false, Workers: 1})
+
+	p1 := param.Point{"week": 10}
+	p2 := param.Point{"week": 30}
+
+	r1 := reuse.EvaluatePoint(gaussEval, p1)
+	if r1.Reused {
+		t.Fatal("first point cannot be reused")
+	}
+	r2 := reuse.EvaluatePoint(gaussEval, p2)
+	if !r2.Reused {
+		t.Fatal("affinely related point not reused")
+	}
+	want := naive.EvaluatePoint(gaussEval, p2)
+	relErr := math.Abs(r2.Summary.Mean-want.Summary.Mean) / math.Abs(want.Summary.Mean)
+	if relErr > 1e-9 {
+		t.Fatalf("reused mean %g vs full %g (rel %g)", r2.Summary.Mean, want.Summary.Mean, relErr)
+	}
+	if math.Abs(r2.Summary.StdDev-want.Summary.StdDev) > 1e-9*(1+want.Summary.StdDev) {
+		t.Fatalf("reused stddev %g vs full %g", r2.Summary.StdDev, want.Summary.StdDev)
+	}
+}
+
+func TestSweepReuseCounts(t *testing.T) {
+	e := MustNew(Options{Samples: 200, Reuse: true, Workers: 1})
+	space := weekSpace(t, 1, 50, 1)
+	results, st, err := e.Sweep(gaussEval, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 50 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if st.FullSimulations != 1 {
+		t.Fatalf("full sims = %d, want 1 (single basis)", st.FullSimulations)
+	}
+	if st.Reused != 49 {
+		t.Fatalf("reused = %d, want 49", st.Reused)
+	}
+	if st.Store.Bases != 1 {
+		t.Fatalf("bases = %d", st.Store.Bases)
+	}
+}
+
+func TestSweepNilSpace(t *testing.T) {
+	e := MustNew(Options{})
+	if _, _, err := e.Sweep(gaussEval, nil); err == nil {
+		t.Fatal("nil space accepted")
+	}
+}
+
+func TestNaiveSweepNeverReuses(t *testing.T) {
+	e := MustNew(Options{Samples: 50, Reuse: false, Workers: 1})
+	space := weekSpace(t, 1, 10, 1)
+	_, st, err := e.Sweep(gaussEval, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reused != 0 || st.FullSimulations != 10 || st.Store.Bases != 0 {
+		t.Fatalf("naive stats = %+v", st)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := MustNew(Options{Samples: 3000, Reuse: false, Workers: 1})
+	par := MustNew(Options{Samples: 3000, Reuse: false, Workers: 8})
+	p := param.Point{"week": 15}
+	a := seq.EvaluatePoint(gaussEval, p)
+	b := par.EvaluatePoint(gaussEval, p)
+	if a.Summary.Mean != b.Summary.Mean || a.Summary.StdDev != b.Summary.StdDev {
+		t.Fatalf("parallel result differs: %g/%g vs %g/%g",
+			a.Summary.Mean, a.Summary.StdDev, b.Summary.Mean, b.Summary.StdDev)
+	}
+}
+
+func TestKeepSamplesPayload(t *testing.T) {
+	e := MustNew(Options{Samples: 64, Reuse: true, KeepSamples: true, HistBins: 8, Workers: 1})
+	res := e.EvaluatePoint(gaussEval, param.Point{"week": 5})
+	if res.Summary.Hist == nil {
+		t.Fatal("histogram missing")
+	}
+	basis, ok := e.Store().Get(res.BasisID)
+	if !ok {
+		t.Fatal("basis not stored")
+	}
+	payload := basis.Payload.(*BasisPayload)
+	if len(payload.Samples) != 64 {
+		t.Fatalf("payload samples = %d", len(payload.Samples))
+	}
+}
+
+func TestFingerprintIsPrefixOfSimulation(t *testing.T) {
+	// §3.1: the fingerprint is the first m simulation rounds, so a
+	// full simulation and the fingerprint agree on those samples.
+	e := MustNew(Options{Samples: 32, KeepSamples: true, Reuse: true, Workers: 1})
+	p := param.Point{"week": 9}
+	fp := e.Fingerprint(gaussEval, p)
+	res := e.EvaluatePoint(gaussEval, p)
+	basis, _ := e.Store().Get(res.BasisID)
+	samples := basis.Payload.(*BasisPayload).Samples
+	for k := range fp {
+		if samples[k] != fp[k] {
+			t.Fatalf("sample %d = %g, fingerprint %g", k, samples[k], fp[k])
+		}
+	}
+}
+
+func TestIndexStrategiesAgree(t *testing.T) {
+	// All three index strategies must produce identical sweep results
+	// (indexes only prune candidates, never change answers).
+	space := weekSpace(t, 1, 30, 1)
+	var ref []PointResult
+	for _, kind := range []IndexKind{IndexArray, IndexNormalization, IndexSortedSID} {
+		e := MustNew(Options{Samples: 100, Reuse: true, Index: kind, Workers: 1})
+		results, _, err := e.Sweep(gaussEval, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = results
+			continue
+		}
+		for i := range results {
+			if math.Abs(results[i].Summary.Mean-ref[i].Summary.Mean) > 1e-9 {
+				t.Fatalf("%v: point %d mean %g != ref %g",
+					kind, i, results[i].Summary.Mean, ref[i].Summary.Mean)
+			}
+		}
+	}
+}
+
+func TestCapacitySweepFindsFewBases(t *testing.T) {
+	// The Capacity model over a whole year needs only a handful of
+	// basis distributions (Fig. 8's point).
+	cap := blackbox.NewCapacity()
+	f := MustBindBox(cap, "week", "p1", "p2")
+	wk, _ := param.Range("week", 0, 51, 1)
+	p1, _ := param.Set("p1", 10)
+	p2, _ := param.Set("p2", 30)
+	space := param.MustSpace(wk, p1, p2)
+
+	e := MustNew(Options{Samples: 300, Reuse: true, Workers: 1})
+	_, st, err := e.Sweep(f, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullSimulations >= 30 {
+		t.Fatalf("capacity sweep used %d bases for 52 weeks; reuse broken", st.FullSimulations)
+	}
+	if st.FullSimulations < 2 {
+		t.Fatalf("capacity sweep used %d bases; structures should force several", st.FullSimulations)
+	}
+}
+
+func TestEvaluatePointMapsQuantiles(t *testing.T) {
+	e := MustNew(Options{Samples: 400, Reuse: true, KeepSamples: true, Workers: 1})
+	r1 := e.EvaluatePoint(gaussEval, param.Point{"week": 10})
+	r2 := e.EvaluatePoint(gaussEval, param.Point{"week": 40})
+	if !r2.Reused {
+		t.Fatal("expected reuse")
+	}
+	if r2.Summary.Quantiles == nil {
+		t.Fatal("reused summary lost quantiles")
+	}
+	if r2.Summary.Quantiles[0.5] <= r1.Summary.Quantiles[0.5] {
+		t.Fatal("mapped median should grow with week")
+	}
+}

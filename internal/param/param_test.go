@@ -1,0 +1,367 @@
+package param
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeDomain(t *testing.T) {
+	d, err := Range("current_week", 0, 52, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := d.Domain()
+	if len(dom) != 14 {
+		t.Fatalf("RANGE 0 TO 52 STEP 4 cardinality = %d, want 14", len(dom))
+	}
+	if dom[0] != 0 || dom[13] != 52 {
+		t.Fatalf("domain endpoints = %g..%g, want 0..52", dom[0], dom[13])
+	}
+	if d.Cardinality() != 14 {
+		t.Fatalf("Cardinality = %d", d.Cardinality())
+	}
+}
+
+func TestRangeSingleton(t *testing.T) {
+	d, err := Range("x", 5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Domain(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("singleton range domain = %v", got)
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	if _, err := Range("", 0, 1, 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := Range("x", 0, 1, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := Range("x", 0, 1, -1); err == nil {
+		t.Fatal("negative step accepted")
+	}
+	if _, err := Range("x", 2, 1, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	d, _ := Range("x", 0, 52, 4)
+	for _, v := range []float64{0, 4, 48, 52} {
+		if !d.Contains(v) {
+			t.Fatalf("Contains(%g) = false", v)
+		}
+	}
+	for _, v := range []float64{-4, 2, 53, 56} {
+		if d.Contains(v) {
+			t.Fatalf("Contains(%g) = true", v)
+		}
+	}
+}
+
+func TestSetDedupAndSort(t *testing.T) {
+	d, err := Set("feature_release", 44, 12, 36, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := d.Domain()
+	want := []float64{12, 36, 44}
+	if len(dom) != len(want) {
+		t.Fatalf("domain = %v, want %v", dom, want)
+	}
+	for i := range want {
+		if dom[i] != want[i] {
+			t.Fatalf("domain = %v, want %v", dom, want)
+		}
+	}
+	if !d.Contains(36) || d.Contains(35) {
+		t.Fatal("Set Contains broken")
+	}
+}
+
+func TestSetErrors(t *testing.T) {
+	if _, err := Set("x"); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Set("", 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestChainDecl(t *testing.T) {
+	d, err := Chain("release_week", "release_week", "current_week", -1, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindChain || d.Cardinality() != 0 || d.Domain() != nil {
+		t.Fatalf("chain decl misbehaves: %+v", d)
+	}
+	if d.Contains(52) {
+		t.Fatal("chain Contains should be false")
+	}
+	if _, err := Chain("", "c", "d", 0, 0); err == nil {
+		t.Fatal("empty chain name accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindRange.String() != "RANGE" || KindSet.String() != "SET" || KindChain.String() != "CHAIN" {
+		t.Fatal("Kind.String broken")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestDeclString(t *testing.T) {
+	r, _ := Range("a", 0, 10, 2)
+	if got := r.String(); !strings.Contains(got, "RANGE 0 TO 10 STEP BY 2") {
+		t.Fatalf("Range String = %q", got)
+	}
+	s, _ := Set("b", 3, 1)
+	if got := s.String(); !strings.Contains(got, "SET (1,3)") {
+		t.Fatalf("Set String = %q", got)
+	}
+	c, _ := Chain("r", "col", "wk", -1, 52)
+	if got := c.String(); !strings.Contains(got, "CHAIN col") {
+		t.Fatalf("Chain String = %q", got)
+	}
+}
+
+func TestPointCloneWithKey(t *testing.T) {
+	p := Point{"a": 1, "b": 2}
+	q := p.With("a", 9)
+	if p["a"] != 1 || q["a"] != 9 || q["b"] != 2 {
+		t.Fatal("With mutated receiver or dropped bindings")
+	}
+	if p.Key() != "a=1;b=2" {
+		t.Fatalf("Key = %q", p.Key())
+	}
+	if p.String() != "{a=1;b=2}" {
+		t.Fatalf("String = %q", p.String())
+	}
+	c := p.Clone()
+	c["a"] = 7
+	if p["a"] != 1 {
+		t.Fatal("Clone aliases receiver")
+	}
+}
+
+func TestPointGetters(t *testing.T) {
+	p := Point{"x": 3}
+	if v, ok := p.Get("x"); !ok || v != 3 {
+		t.Fatal("Get broken")
+	}
+	if _, ok := p.Get("y"); ok {
+		t.Fatal("Get found missing binding")
+	}
+	if p.MustGet("x") != 3 {
+		t.Fatal("MustGet broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on missing binding did not panic")
+		}
+	}()
+	p.MustGet("y")
+}
+
+func mustSpaceT(t *testing.T) *Space {
+	t.Helper()
+	wk, _ := Range("week", 0, 3, 1) // 4 values
+	p1, _ := Range("p1", 0, 8, 4)   // 3 values
+	fr, _ := Set("fr", 12, 36)      // 2 values
+	ch, _ := Chain("rw", "rw", "week", -1, 52)
+	return MustSpace(wk, p1, fr, ch)
+}
+
+func TestSpaceSizeAndEnumeration(t *testing.T) {
+	s := mustSpaceT(t)
+	if s.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", s.Size())
+	}
+	pts := s.Points()
+	if len(pts) != 24 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pts {
+		if len(p) != 3 {
+			t.Fatalf("point binds %d params: %v", len(p), p)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate point %v", p)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestSpacePointIndexRoundTrip(t *testing.T) {
+	s := mustSpaceT(t)
+	for i := 0; i < s.Size(); i++ {
+		p := s.Point(i)
+		j, err := s.Index(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j != i {
+			t.Fatalf("Index(Point(%d)) = %d", i, j)
+		}
+	}
+}
+
+func TestSpaceIndexErrors(t *testing.T) {
+	s := mustSpaceT(t)
+	if _, err := s.Index(Point{"week": 0}); err == nil {
+		t.Fatal("partial point accepted")
+	}
+	if _, err := s.Index(Point{"week": 0.5, "p1": 0, "fr": 12}); err == nil {
+		t.Fatal("off-domain value accepted")
+	}
+}
+
+func TestSpacePointPanicsOutOfRange(t *testing.T) {
+	s := mustSpaceT(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Point(Size()) did not panic")
+		}
+	}()
+	s.Point(s.Size())
+}
+
+func TestSpaceRowMajorOrder(t *testing.T) {
+	a, _ := Range("a", 0, 1, 1)
+	b, _ := Range("b", 0, 2, 1)
+	s := MustSpace(a, b)
+	// Last declared parameter varies fastest.
+	want := []Point{
+		{"a": 0, "b": 0}, {"a": 0, "b": 1}, {"a": 0, "b": 2},
+		{"a": 1, "b": 0}, {"a": 1, "b": 1}, {"a": 1, "b": 2},
+	}
+	for i, w := range want {
+		if got := s.Point(i); got.Key() != w.Key() {
+			t.Fatalf("Point(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestSpaceDuplicateName(t *testing.T) {
+	a, _ := Range("a", 0, 1, 1)
+	a2, _ := Set("a", 5)
+	if _, err := NewSpace(a, a2); err == nil {
+		t.Fatal("duplicate parameter accepted")
+	}
+}
+
+func TestSpaceEachEarlyStop(t *testing.T) {
+	s := mustSpaceT(t)
+	n := 0
+	s.Each(func(Point) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("Each visited %d points, want 5", n)
+	}
+}
+
+func TestSpaceDeclLookupAndAccessors(t *testing.T) {
+	s := mustSpaceT(t)
+	if d, ok := s.Decl("p1"); !ok || d.Name != "p1" {
+		t.Fatal("Decl lookup failed for enumerable param")
+	}
+	if d, ok := s.Decl("rw"); !ok || d.Kind != KindChain {
+		t.Fatal("Decl lookup failed for chain param")
+	}
+	if _, ok := s.Decl("zzz"); ok {
+		t.Fatal("Decl lookup found missing param")
+	}
+	if len(s.Decls()) != 3 || len(s.Chains()) != 1 {
+		t.Fatalf("accessor lengths = %d, %d", len(s.Decls()), len(s.Chains()))
+	}
+}
+
+func TestEmptySpace(t *testing.T) {
+	s := MustSpace()
+	if s.Size() != 1 {
+		t.Fatalf("empty space size = %d", s.Size())
+	}
+	if p := s.Point(0); len(p) != 0 {
+		t.Fatalf("empty space point = %v", p)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	a, _ := Range("a", 0, 4, 1)
+	b, _ := Set("b", 10, 20, 30)
+	s := MustSpace(a, b)
+
+	n := s.Neighbors(Point{"a": 2, "b": 20})
+	if len(n) != 4 {
+		t.Fatalf("interior point has %d neighbors, want 4: %v", len(n), n)
+	}
+	n = s.Neighbors(Point{"a": 0, "b": 10})
+	if len(n) != 2 {
+		t.Fatalf("corner point has %d neighbors, want 2: %v", len(n), n)
+	}
+	// Unbound and off-domain values are skipped rather than fabricated.
+	if got := s.Neighbors(Point{"a": 2.5}); len(got) != 0 {
+		t.Fatalf("off-domain neighbors = %v", got)
+	}
+}
+
+// Property: Point/Index are mutually inverse over arbitrary small spaces.
+func TestQuickPointIndexBijective(t *testing.T) {
+	f := func(aCard, bCard uint8, probe uint16) bool {
+		na := int(aCard%7) + 1
+		nb := int(bCard%5) + 1
+		a, err := Range("a", 0, float64(na-1), 1)
+		if err != nil {
+			return false
+		}
+		b, err := Range("b", 0, float64(nb-1), 1)
+		if err != nil {
+			return false
+		}
+		s, err := NewSpace(a, b)
+		if err != nil {
+			return false
+		}
+		idx := int(probe) % s.Size()
+		back, err := s.Index(s.Point(idx))
+		return err == nil && back == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every value a RANGE enumerates satisfies Contains.
+func TestQuickRangeDomainContained(t *testing.T) {
+	f := func(loRaw, stepRaw uint8, nRaw uint8) bool {
+		lo := float64(loRaw) / 4
+		step := float64(stepRaw%16+1) / 4
+		n := int(nRaw%20) + 1
+		hi := lo + float64(n-1)*step
+		d, err := Range("x", lo, hi, step)
+		if err != nil {
+			return false
+		}
+		if d.Cardinality() != n {
+			return false
+		}
+		for _, v := range d.Domain() {
+			if !d.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+package pdb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AggKind enumerates the in-world aggregate functions (SUM over event
+// contributions is how Fig. 1's CapacityModel composes its purchases;
+// EXPECT and friends, by contrast, aggregate *across* worlds and live
+// in the worlds layer).
+type AggKind int
+
+const (
+	// AggSum is SUM(expr).
+	AggSum AggKind = iota
+	// AggCount is COUNT(expr) (non-NULL rows) or COUNT(*) with a nil
+	// expression.
+	AggCount
+	// AggAvg is AVG(expr).
+	AggAvg
+	// AggMin is MIN(expr).
+	AggMin
+	// AggMax is MAX(expr).
+	AggMax
+)
+
+// ParseAggKind resolves an aggregate name.
+func ParseAggKind(name string) (AggKind, bool) {
+	switch strings.ToUpper(name) {
+	case "SUM":
+		return AggSum, true
+	case "COUNT":
+		return AggCount, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	default:
+		return 0, false
+	}
+}
+
+// String implements fmt.Stringer.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// AggSpec is one aggregate output of a GroupPlan.
+type AggSpec struct {
+	Kind AggKind
+	// Arg is the aggregated expression; nil only for COUNT(*).
+	Arg BoundExpr
+	// Name is the output column name.
+	Name string
+}
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	kind     AggKind
+	n        int
+	sum      float64
+	min, max float64
+}
+
+func newAggState(kind AggKind) *aggState {
+	return &aggState{kind: kind, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (a *aggState) add(v Value) error {
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	f, err := v.AsFloat()
+	if err != nil {
+		return err
+	}
+	a.n++
+	a.sum += f
+	if f < a.min {
+		a.min = f
+	}
+	if f > a.max {
+		a.max = f
+	}
+	return nil
+}
+
+// addCountStar counts a row unconditionally (COUNT(*)).
+func (a *aggState) addCountStar() { a.n++ }
+
+func (a *aggState) result() Value {
+	switch a.kind {
+	case AggCount:
+		return Float(float64(a.n))
+	case AggSum:
+		if a.n == 0 {
+			return Null()
+		}
+		return Float(a.sum)
+	case AggAvg:
+		if a.n == 0 {
+			return Null()
+		}
+		return Float(a.sum / float64(a.n))
+	case AggMin:
+		if a.n == 0 {
+			return Null()
+		}
+		return Float(a.min)
+	case AggMax:
+		if a.n == 0 {
+			return Null()
+		}
+		return Float(a.max)
+	default:
+		return Null()
+	}
+}
+
+// GroupPlan groups rows by key expressions and computes aggregates per
+// group. With no keys, the whole input is one group and the output is
+// a single row (the global-aggregate form).
+type GroupPlan struct {
+	Child  Plan
+	Keys   []NamedBound
+	Aggs   []AggSpec
+	schema Schema
+}
+
+// NewGroupPlan validates output-name uniqueness across keys and
+// aggregates.
+func NewGroupPlan(child Plan, keys []NamedBound, aggs []AggSpec) (*GroupPlan, error) {
+	seen := make(map[string]bool)
+	s := make(Schema, 0, len(keys)+len(aggs))
+	for _, k := range keys {
+		if k.Name == "" || seen[k.Name] {
+			return nil, fmt.Errorf("pdb: bad group key name %q", k.Name)
+		}
+		seen[k.Name] = true
+		s = append(s, Column{Name: k.Name})
+	}
+	for _, a := range aggs {
+		if a.Name == "" || seen[a.Name] {
+			return nil, fmt.Errorf("pdb: bad aggregate name %q", a.Name)
+		}
+		if a.Arg == nil && a.Kind != AggCount {
+			return nil, fmt.Errorf("pdb: %s requires an argument", a.Kind)
+		}
+		seen[a.Name] = true
+		s = append(s, Column{Name: a.Name})
+	}
+	return &GroupPlan{Child: child, Keys: keys, Aggs: aggs, schema: s}, nil
+}
+
+// Schema implements Plan.
+func (p *GroupPlan) Schema() Schema { return p.schema }
+
+// Execute implements Plan. Group order is first-appearance, keeping
+// per-world outputs positionally aligned across worlds (the tuple-
+// bundle discipline the worlds layer's estimator relies on).
+func (p *GroupPlan) Execute(ctx *RowCtx) (*Table, error) {
+	in, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		keyVals []Value
+		states  []*aggState
+	}
+	var order []string
+	groups := make(map[string]*group)
+
+	for _, row := range in.Rows {
+		keyVals := make([]Value, len(p.Keys))
+		var kb strings.Builder
+		for i, k := range p.Keys {
+			v, err := k.Expr(row, ctx)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			kb.WriteString(v.String())
+			kb.WriteByte('\x00')
+		}
+		key := kb.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{keyVals: keyVals, states: make([]*aggState, len(p.Aggs))}
+			for i, a := range p.Aggs {
+				g.states[i] = newAggState(a.Kind)
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, a := range p.Aggs {
+			if a.Arg == nil {
+				g.states[i].addCountStar()
+				continue
+			}
+			v, err := a.Arg(row, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.states[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Global aggregate over empty input still yields one row.
+	if len(p.Keys) == 0 && len(order) == 0 {
+		g := &group{states: make([]*aggState, len(p.Aggs))}
+		for i, a := range p.Aggs {
+			g.states[i] = newAggState(a.Kind)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	out := &Table{Schema: p.schema, Rows: make([]Row, 0, len(order))}
+	for _, key := range order {
+		g := groups[key]
+		row := make(Row, 0, len(p.schema))
+		row = append(row, g.keyVals...)
+		for _, st := range g.states {
+			row = append(row, st.result())
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func (p *GroupPlan) String() string {
+	return fmt.Sprintf("GroupBy(keys=%d, aggs=%d)", len(p.Keys), len(p.Aggs))
+}

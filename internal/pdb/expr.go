@@ -1,0 +1,432 @@
+package pdb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/rng"
+)
+
+// Expr is an unbound scalar expression. Expressions are compiled
+// against a schema (Bind) before evaluation, resolving column names to
+// positions once rather than per row — the standard interpreted-engine
+// compromise between a full compiler and per-row name lookup.
+type Expr interface {
+	// Bind resolves names against the schema, returning an evaluator.
+	Bind(s Schema, env *Env) (BoundExpr, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// BoundExpr evaluates against a row within a row context.
+type BoundExpr func(row Row, ctx *RowCtx) (Value, error)
+
+// RowCtx carries per-world evaluation state: the world's generator
+// (all VG randomness) and the parameter bindings of the current point.
+type RowCtx struct {
+	// Rand is the world's seeded generator; every VG invocation in the
+	// world draws from it in plan order, making the whole per-world
+	// query evaluation a deterministic function of the world seed —
+	// which is exactly what lets Jigsaw fingerprint "the entire Monte
+	// Carlo simulation" (§3).
+	Rand *rng.Rand
+	// Params holds @parameter values.
+	Params map[string]float64
+}
+
+// Env carries bind-time context: the black-box registry for VG calls.
+type Env struct {
+	// Boxes resolves VG-function names; nil forbids VG calls.
+	Boxes *blackbox.Registry
+}
+
+// ---------- Literals, columns, parameters ----------
+
+// Lit is a constant.
+type Lit struct{ Val Value }
+
+// Bind implements Expr.
+func (l Lit) Bind(Schema, *Env) (BoundExpr, error) {
+	v := l.Val
+	return func(Row, *RowCtx) (Value, error) { return v, nil }, nil
+}
+
+func (l Lit) String() string { return l.Val.String() }
+
+// Col references a column by name.
+type Col struct{ Name string }
+
+// Bind implements Expr.
+func (c Col) Bind(s Schema, _ *Env) (BoundExpr, error) {
+	i, err := s.IndexOf(c.Name)
+	if err != nil {
+		return nil, err
+	}
+	return func(row Row, _ *RowCtx) (Value, error) { return row[i], nil }, nil
+}
+
+func (c Col) String() string { return c.Name }
+
+// Param references a declared @parameter.
+type Param struct{ Name string }
+
+// Bind implements Expr.
+func (p Param) Bind(Schema, *Env) (BoundExpr, error) {
+	name := p.Name
+	return func(_ Row, ctx *RowCtx) (Value, error) {
+		v, ok := ctx.Params[name]
+		if !ok {
+			return Null(), fmt.Errorf("pdb: unbound parameter @%s", name)
+		}
+		return Float(v), nil
+	}, nil
+}
+
+func (p Param) String() string { return "@" + p.Name }
+
+// ---------- Operators ----------
+
+// BinOp is a binary operator.
+type BinOp struct {
+	Op          string // + - * / < <= > >= = <> AND OR
+	Left, Right Expr
+}
+
+// Bind implements Expr.
+func (b BinOp) Bind(s Schema, env *Env) (BoundExpr, error) {
+	l, err := b.Left.Bind(s, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.Right.Bind(s, env)
+	if err != nil {
+		return nil, err
+	}
+	op := b.Op
+	switch op {
+	case "+", "-", "*", "/":
+		return bindArith(op, l, r), nil
+	case "<", "<=", ">", ">=", "=", "<>":
+		return bindCompare(op, l, r), nil
+	case "AND", "OR":
+		return bindLogic(op, l, r), nil
+	default:
+		return nil, fmt.Errorf("pdb: unknown operator %q", op)
+	}
+}
+
+func (b BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
+}
+
+func bindArith(op string, l, r BoundExpr) BoundExpr {
+	return func(row Row, ctx *RowCtx) (Value, error) {
+		lv, err := l(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		rv, err := r(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return Null(), nil
+		}
+		lf, err := lv.AsFloat()
+		if err != nil {
+			return Null(), err
+		}
+		rf, err := rv.AsFloat()
+		if err != nil {
+			return Null(), err
+		}
+		switch op {
+		case "+":
+			return Float(lf + rf), nil
+		case "-":
+			return Float(lf - rf), nil
+		case "*":
+			return Float(lf * rf), nil
+		default: // "/"
+			if rf == 0 {
+				return Null(), nil // SQL-style: division by zero yields NULL
+			}
+			return Float(lf / rf), nil
+		}
+	}
+}
+
+func bindCompare(op string, l, r BoundExpr) BoundExpr {
+	return func(row Row, ctx *RowCtx) (Value, error) {
+		lv, err := l(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		rv, err := r(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return Null(), nil
+		}
+		if op == "=" {
+			return Bool(lv.Equal(rv)), nil
+		}
+		if op == "<>" {
+			return Bool(!lv.Equal(rv)), nil
+		}
+		c, err := lv.Compare(rv)
+		if err != nil {
+			return Null(), err
+		}
+		switch op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default: // ">="
+			return Bool(c >= 0), nil
+		}
+	}
+}
+
+func bindLogic(op string, l, r BoundExpr) BoundExpr {
+	return func(row Row, ctx *RowCtx) (Value, error) {
+		lv, err := l(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		rv, err := r(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return Null(), nil
+		}
+		lb, err := lv.AsBool()
+		if err != nil {
+			return Null(), err
+		}
+		rb, err := rv.AsBool()
+		if err != nil {
+			return Null(), err
+		}
+		if op == "AND" {
+			return Bool(lb && rb), nil
+		}
+		return Bool(lb || rb), nil
+	}
+}
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+// Bind implements Expr.
+func (n Neg) Bind(s Schema, env *Env) (BoundExpr, error) {
+	e, err := n.E.Bind(s, env)
+	if err != nil {
+		return nil, err
+	}
+	return func(row Row, ctx *RowCtx) (Value, error) {
+		v, err := e(row, ctx)
+		if err != nil || v.IsNull() {
+			return Null(), err
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return Null(), err
+		}
+		return Float(-f), nil
+	}, nil
+}
+
+func (n Neg) String() string { return fmt.Sprintf("(-%s)", n.E) }
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// Bind implements Expr.
+func (n Not) Bind(s Schema, env *Env) (BoundExpr, error) {
+	e, err := n.E.Bind(s, env)
+	if err != nil {
+		return nil, err
+	}
+	return func(row Row, ctx *RowCtx) (Value, error) {
+		v, err := e(row, ctx)
+		if err != nil || v.IsNull() {
+			return Null(), err
+		}
+		b, err := v.AsBool()
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(!b), nil
+	}, nil
+}
+
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// Case is CASE WHEN cond THEN a [ELSE b] END (single-arm form, as the
+// paper's Fig. 1 query uses; chained arms desugar to nesting).
+type Case struct {
+	When, Then, Else Expr // Else may be nil → NULL
+}
+
+// Bind implements Expr.
+func (c Case) Bind(s Schema, env *Env) (BoundExpr, error) {
+	w, err := c.When.Bind(s, env)
+	if err != nil {
+		return nil, err
+	}
+	t, err := c.Then.Bind(s, env)
+	if err != nil {
+		return nil, err
+	}
+	var e BoundExpr
+	if c.Else != nil {
+		if e, err = c.Else.Bind(s, env); err != nil {
+			return nil, err
+		}
+	}
+	return func(row Row, ctx *RowCtx) (Value, error) {
+		cond, err := w(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		ok := false
+		if !cond.IsNull() {
+			if ok, err = cond.AsBool(); err != nil {
+				return Null(), err
+			}
+		}
+		if ok {
+			return t(row, ctx)
+		}
+		if e == nil {
+			return Null(), nil
+		}
+		return e(row, ctx)
+	}, nil
+}
+
+func (c Case) String() string {
+	if c.Else == nil {
+		return fmt.Sprintf("CASE WHEN %s THEN %s END", c.When, c.Then)
+	}
+	return fmt.Sprintf("CASE WHEN %s THEN %s ELSE %s END", c.When, c.Then, c.Else)
+}
+
+// Call invokes either a scalar builtin (ABS, SQRT, MIN, MAX, POW) or a
+// registered VG-function (stochastic black box). VG calls draw from
+// the world generator in the row context.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// scalarBuiltins are deterministic functions usable anywhere.
+var scalarBuiltins = map[string]func(args []float64) (float64, error){
+	"ABS":  func(a []float64) (float64, error) { return math.Abs(a[0]), nil },
+	"SQRT": func(a []float64) (float64, error) { return math.Sqrt(a[0]), nil },
+	"POW":  func(a []float64) (float64, error) { return math.Pow(a[0], a[1]), nil },
+	"MINV": func(a []float64) (float64, error) { return math.Min(a[0], a[1]), nil },
+	"MAXV": func(a []float64) (float64, error) { return math.Max(a[0], a[1]), nil },
+}
+
+// builtinArity maps builtin names to expected argument counts.
+var builtinArity = map[string]int{"ABS": 1, "SQRT": 1, "POW": 2, "MINV": 2, "MAXV": 2}
+
+// Bind implements Expr.
+func (c Call) Bind(s Schema, env *Env) (BoundExpr, error) {
+	args := make([]BoundExpr, len(c.Args))
+	for i, a := range c.Args {
+		b, err := a.Bind(s, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = b
+	}
+	upper := strings.ToUpper(c.Name)
+	if fn, ok := scalarBuiltins[upper]; ok {
+		if want := builtinArity[upper]; want != len(args) {
+			return nil, fmt.Errorf("pdb: %s expects %d args, got %d", upper, want, len(args))
+		}
+		return bindScalarCall(fn, args), nil
+	}
+	if env == nil || env.Boxes == nil {
+		return nil, fmt.Errorf("pdb: unknown function %q (no VG registry bound)", c.Name)
+	}
+	box, err := env.Boxes.Lookup(c.Name)
+	if err != nil {
+		return nil, err
+	}
+	if box.Arity() != len(args) {
+		return nil, fmt.Errorf("pdb: VG function %s expects %d args, got %d",
+			c.Name, box.Arity(), len(args))
+	}
+	return bindVGCall(box, args), nil
+}
+
+func bindScalarCall(fn func([]float64) (float64, error), args []BoundExpr) BoundExpr {
+	return func(row Row, ctx *RowCtx) (Value, error) {
+		fs, err := evalFloatArgs(args, row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if fs == nil {
+			return Null(), nil
+		}
+		f, err := fn(fs)
+		if err != nil {
+			return Null(), err
+		}
+		return Float(f), nil
+	}
+}
+
+func bindVGCall(box blackbox.Box, args []BoundExpr) BoundExpr {
+	return func(row Row, ctx *RowCtx) (Value, error) {
+		if ctx.Rand == nil {
+			return Null(), fmt.Errorf("pdb: VG function %s invoked outside a world", box.Name())
+		}
+		fs, err := evalFloatArgs(args, row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if fs == nil {
+			return Null(), nil
+		}
+		return Float(box.Eval(fs, ctx.Rand)), nil
+	}
+}
+
+// evalFloatArgs evaluates all args; a NULL argument yields (nil, nil),
+// propagating NULL without invoking the function.
+func evalFloatArgs(args []BoundExpr, row Row, ctx *RowCtx) ([]float64, error) {
+	fs := make([]float64, len(args))
+	for i, a := range args {
+		v, err := a(row, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return nil, nil
+		}
+		if fs[i], err = v.AsFloat(); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}

@@ -1,0 +1,354 @@
+package pdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Plan is a query-plan node: a relational operator tree executed once
+// per possible world. Plans are built (bound) against a DB, then
+// executed with a per-world RowCtx.
+type Plan interface {
+	// Schema returns the output schema.
+	Schema() Schema
+	// Execute materializes the operator's output for one world.
+	Execute(ctx *RowCtx) (*Table, error)
+	// String renders a one-line operator description.
+	String() string
+}
+
+// ---------- Leaf operators ----------
+
+// ValuesPlan produces a single empty row: the FROM-less SELECT source
+// (Fig. 1's query selects straight from models).
+type ValuesPlan struct{}
+
+// Schema implements Plan.
+func (ValuesPlan) Schema() Schema { return Schema{} }
+
+// Execute implements Plan.
+func (ValuesPlan) Execute(*RowCtx) (*Table, error) {
+	return &Table{Schema: Schema{}, Rows: []Row{{}}}, nil
+}
+
+func (ValuesPlan) String() string { return "Values()" }
+
+// ScanPlan reads a stored table. The backing table is shared across
+// worlds (deterministic data); uncertain attributes enter through VG
+// calls in enclosing Project nodes.
+type ScanPlan struct {
+	Name  string
+	table *Table
+}
+
+// NewScanPlan binds a scan to a materialized table.
+func NewScanPlan(name string, t *Table) *ScanPlan { return &ScanPlan{Name: name, table: t} }
+
+// Schema implements Plan.
+func (s *ScanPlan) Schema() Schema { return s.table.Schema }
+
+// Execute implements Plan: rows are shared, not copied; downstream
+// operators never mutate input rows.
+func (s *ScanPlan) Execute(*RowCtx) (*Table, error) {
+	return &Table{Schema: s.table.Schema, Rows: s.table.Rows}, nil
+}
+
+func (s *ScanPlan) String() string { return fmt.Sprintf("Scan(%s)", s.Name) }
+
+// ---------- Unary operators ----------
+
+// SelectPlan filters rows by a predicate.
+type SelectPlan struct {
+	Child Plan
+	Pred  BoundExpr
+	Desc  string
+}
+
+// Schema implements Plan.
+func (p *SelectPlan) Schema() Schema { return p.Child.Schema() }
+
+// Execute implements Plan.
+func (p *SelectPlan) Execute(ctx *RowCtx) (*Table, error) {
+	in, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{Schema: in.Schema}
+	for _, row := range in.Rows {
+		v, err := p.Pred(row, ctx)
+		if err != nil {
+			return nil, err
+		}
+		keep := false
+		if !v.IsNull() {
+			if keep, err = v.AsBool(); err != nil {
+				return nil, err
+			}
+		}
+		if keep {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (p *SelectPlan) String() string { return fmt.Sprintf("Select(%s)", p.Desc) }
+
+// NamedBound pairs an output column name with its bound expression.
+type NamedBound struct {
+	Name string
+	Expr BoundExpr
+}
+
+// ProjectPlan computes output columns from each input row.
+type ProjectPlan struct {
+	Child   Plan
+	Outputs []NamedBound
+	schema  Schema
+}
+
+// NewProjectPlan validates output-name uniqueness.
+func NewProjectPlan(child Plan, outputs []NamedBound) (*ProjectPlan, error) {
+	seen := make(map[string]bool, len(outputs))
+	s := make(Schema, 0, len(outputs))
+	for _, o := range outputs {
+		if o.Name == "" {
+			return nil, fmt.Errorf("pdb: unnamed projection output")
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("pdb: duplicate output column %q", o.Name)
+		}
+		seen[o.Name] = true
+		s = append(s, Column{Name: o.Name})
+	}
+	return &ProjectPlan{Child: child, Outputs: outputs, schema: s}, nil
+}
+
+// Schema implements Plan.
+func (p *ProjectPlan) Schema() Schema { return p.schema }
+
+// Execute implements Plan.
+func (p *ProjectPlan) Execute(ctx *RowCtx) (*Table, error) {
+	in, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{Schema: p.schema, Rows: make([]Row, 0, len(in.Rows))}
+	for _, row := range in.Rows {
+		nr := make(Row, len(p.Outputs))
+		for i, o := range p.Outputs {
+			if nr[i], err = o.Expr(row, ctx); err != nil {
+				return nil, err
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+func (p *ProjectPlan) String() string { return fmt.Sprintf("Project(%s)", p.schema) }
+
+// ExtendPlan is projection that keeps the child's columns and appends
+// computed ones — the shape SELECT *, expr AS name produces, and the
+// natural encoding of Fig. 1's dependent column list (overload refers
+// to capacity and demand computed in the same SELECT).
+type ExtendPlan struct {
+	Child   Plan
+	Outputs []NamedBound
+	schema  Schema
+}
+
+// NewExtendPlan validates that appended names do not collide with the
+// child's schema. Bound expressions for later outputs see earlier
+// outputs (left-to-right dependency, as Fig. 1 requires).
+func NewExtendPlan(child Plan, outputs []NamedBound) (*ExtendPlan, error) {
+	s := child.Schema()
+	seen := make(map[string]bool, len(s)+len(outputs))
+	for _, c := range s {
+		seen[c.Name] = true
+	}
+	out := append(Schema(nil), s...)
+	for _, o := range outputs {
+		if o.Name == "" {
+			return nil, fmt.Errorf("pdb: unnamed extend output")
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("pdb: duplicate column %q", o.Name)
+		}
+		seen[o.Name] = true
+		out = append(out, Column{Name: o.Name})
+	}
+	return &ExtendPlan{Child: child, Outputs: outputs, schema: out}, nil
+}
+
+// Schema implements Plan.
+func (p *ExtendPlan) Schema() Schema { return p.schema }
+
+// Execute implements Plan. Each output expression is evaluated against
+// the progressively extended row, so expression i sees columns
+// appended by expressions < i.
+func (p *ExtendPlan) Execute(ctx *RowCtx) (*Table, error) {
+	in, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{Schema: p.schema, Rows: make([]Row, 0, len(in.Rows))}
+	for _, row := range in.Rows {
+		nr := make(Row, len(in.Schema), len(p.schema))
+		copy(nr, row)
+		for _, o := range p.Outputs {
+			v, err := o.Expr(nr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			nr = append(nr, v)
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+func (p *ExtendPlan) String() string { return fmt.Sprintf("Extend(%s)", p.schema) }
+
+// OrderByPlan sorts rows by a key expression.
+type OrderByPlan struct {
+	Child Plan
+	Key   BoundExpr
+	Desc  bool
+}
+
+// Schema implements Plan.
+func (p *OrderByPlan) Schema() Schema { return p.Child.Schema() }
+
+// Execute implements Plan. NULL keys sort first.
+func (p *OrderByPlan) Execute(ctx *RowCtx) (*Table, error) {
+	in, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	type keyed struct {
+		row Row
+		key Value
+	}
+	ks := make([]keyed, len(in.Rows))
+	for i, row := range in.Rows {
+		v, err := p.Key(row, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ks[i] = keyed{row, v}
+	}
+	var sortErr error
+	sort.SliceStable(ks, func(i, j int) bool {
+		a, b := ks[i].key, ks[j].key
+		if a.IsNull() {
+			return !b.IsNull()
+		}
+		if b.IsNull() {
+			return false
+		}
+		c, err := a.Compare(b)
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		if p.Desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out := &Table{Schema: in.Schema, Rows: make([]Row, len(ks))}
+	for i, k := range ks {
+		out.Rows[i] = k.row
+	}
+	return out, nil
+}
+
+func (p *OrderByPlan) String() string { return "OrderBy" }
+
+// LimitPlan truncates to the first N rows.
+type LimitPlan struct {
+	Child Plan
+	N     int
+}
+
+// Schema implements Plan.
+func (p *LimitPlan) Schema() Schema { return p.Child.Schema() }
+
+// Execute implements Plan.
+func (p *LimitPlan) Execute(ctx *RowCtx) (*Table, error) {
+	in, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := p.N
+	if n > len(in.Rows) {
+		n = len(in.Rows)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Table{Schema: in.Schema, Rows: in.Rows[:n]}, nil
+}
+
+func (p *LimitPlan) String() string { return fmt.Sprintf("Limit(%d)", p.N) }
+
+// ---------- Binary operators ----------
+
+// JoinPlan is a nested-loop inner join with an arbitrary bound
+// predicate over the concatenated row.
+type JoinPlan struct {
+	Left, Right Plan
+	Pred        BoundExpr // nil = cross join
+	schema      Schema
+}
+
+// NewJoinPlan builds a join node.
+func NewJoinPlan(left, right Plan, pred BoundExpr) *JoinPlan {
+	return &JoinPlan{Left: left, Right: right, Pred: pred,
+		schema: left.Schema().Concat(right.Schema())}
+}
+
+// Schema implements Plan.
+func (p *JoinPlan) Schema() Schema { return p.schema }
+
+// Execute implements Plan.
+func (p *JoinPlan) Execute(ctx *RowCtx) (*Table, error) {
+	l, err := p.Left.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.Right.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{Schema: p.schema}
+	for _, lr := range l.Rows {
+		for _, rr := range r.Rows {
+			joined := make(Row, 0, len(lr)+len(rr))
+			joined = append(joined, lr...)
+			joined = append(joined, rr...)
+			if p.Pred != nil {
+				v, err := p.Pred(joined, ctx)
+				if err != nil {
+					return nil, err
+				}
+				keep := false
+				if !v.IsNull() {
+					if keep, err = v.AsBool(); err != nil {
+						return nil, err
+					}
+				}
+				if !keep {
+					continue
+				}
+			}
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	return out, nil
+}
+
+func (p *JoinPlan) String() string { return "Join" }

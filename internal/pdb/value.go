@@ -1,0 +1,211 @@
+// Package pdb is the probabilistic-database substrate Jigsaw is built
+// around (§2.1): an MCDB-style engine in which a database represents a
+// distribution over possible worlds, VG-functions (stochastic black
+// boxes) generate uncertain attribute values, queries are evaluated
+// once per sampled world, and per-world answers are aggregated into
+// result-distribution estimates.
+//
+// The package doubles as the reproduction's stand-in for the paper's
+// "C# + MS SQL Server" prototype in the Fig. 7 comparison: queries go
+// through the full parse → plan → per-world interpretation stack with
+// materialized intermediates, paying DB overhead on tiny models but
+// winning on data-dependent ones through set-oriented (bulk) VG
+// evaluation.
+package pdb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates runtime value types. The engine is dynamically
+// typed in the style of analytics scripting layers: columns carry no
+// declared type and operators check kinds at evaluation time.
+type Kind int
+
+const (
+	// KindNull is the SQL NULL.
+	KindNull Kind = iota
+	// KindFloat is a 64-bit float; all model arithmetic uses it.
+	KindFloat
+	// KindBool is a boolean.
+	KindBool
+	// KindString is a string.
+	KindString
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindFloat:
+		return "FLOAT"
+	case KindBool:
+		return "BOOL"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is one cell. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	f    float64
+	b    bool
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Float wraps a float64.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool wraps a bool.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// String wraps a string. (Use .Text() to unwrap; String() is the
+// fmt.Stringer.)
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind returns the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsFloat unwraps a float, converting bools (true=1) as SQL's
+// arithmetic on predicates does in this dialect.
+func (v Value) AsFloat() (float64, error) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, nil
+	case KindBool:
+		if v.b {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("pdb: %s is not numeric", v.kind)
+	}
+}
+
+// AsBool unwraps a bool; floats are truthy when non-zero.
+func (v Value) AsBool() (bool, error) {
+	switch v.kind {
+	case KindBool:
+		return v.b, nil
+	case KindFloat:
+		return v.f != 0, nil
+	default:
+		return false, fmt.Errorf("pdb: %s is not boolean", v.kind)
+	}
+}
+
+// Text unwraps a string value.
+func (v Value) Text() (string, error) {
+	if v.kind != KindString {
+		return "", fmt.Errorf("pdb: %s is not a string", v.kind)
+	}
+	return v.s, nil
+}
+
+// Equal compares two values; NULL equals nothing (including NULL),
+// mirroring SQL three-valued comparison collapsed to false.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind || v.kind == KindNull {
+		return false
+	}
+	switch v.kind {
+	case KindFloat:
+		return v.f == o.f
+	case KindBool:
+		return v.b == o.b
+	case KindString:
+		return v.s == o.s
+	}
+	return false
+}
+
+// Compare orders two non-null values of the same kind: -1, 0, +1.
+func (v Value) Compare(o Value) (int, error) {
+	if v.kind == KindNull || o.kind == KindNull {
+		return 0, fmt.Errorf("pdb: cannot compare NULL")
+	}
+	if v.kind != o.kind {
+		// Allow float/bool mixing through numeric coercion.
+		vf, err1 := v.AsFloat()
+		of, err2 := o.AsFloat()
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("pdb: cannot compare %s with %s", v.kind, o.kind)
+		}
+		return cmpFloat(vf, of), nil
+	}
+	switch v.kind {
+	case KindFloat:
+		return cmpFloat(v.f, o.f), nil
+	case KindBool:
+		vb, ob := 0, 0
+		if v.b {
+			vb = 1
+		}
+		if o.b {
+			ob = 1
+		}
+		return cmpInt(vb, ob), nil
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1, nil
+		case v.s > o.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("pdb: cannot compare %s", v.kind)
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the value for result display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,225 @@
+package pdb
+
+import (
+	"errors"
+	"fmt"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/rng"
+	"jigsaw/internal/stats"
+)
+
+// WorldsOptions configures Monte Carlo query execution.
+type WorldsOptions struct {
+	// Worlds is the number of sampled possible worlds (default 1000,
+	// the paper's §6 setup).
+	Worlds int
+	// MasterSeed derives the per-world seeds; worlds k < len(SeedSet)
+	// reuse the fingerprint seeds so PDB answers are comparable with
+	// engine fingerprints.
+	MasterSeed uint64
+	// KeepSamples retains per-cell sample vectors for quantiles and
+	// histograms.
+	KeepSamples bool
+	// HistBins adds histograms to cell summaries when KeepSamples is
+	// set.
+	HistBins int
+}
+
+func (o WorldsOptions) withDefaults() WorldsOptions {
+	if o.Worlds == 0 {
+		o.Worlds = 1000
+	}
+	return o
+}
+
+// Distribution is a PDB query answer: a distribution over result
+// tables, summarized cell-wise across worlds (§2.1: the answer "may be
+// represented as an expectation, maximum likelihood, histogram,
+// etc."). Rows are aligned positionally across worlds; plans keep
+// group order deterministic to preserve the alignment (the tuple-
+// bundle discipline).
+type Distribution struct {
+	// Schema is the result schema.
+	Schema Schema
+	// Worlds is the number of sampled worlds aggregated.
+	Worlds int
+	// Cells holds per-(row, column) summaries.
+	Cells [][]stats.Summary
+	// KeyRows optionally carries the deterministic key values of each
+	// row (set by RunDistributionKeyed).
+	KeyRows []Row
+}
+
+// NumRows returns the aligned row count.
+func (d *Distribution) NumRows() int { return len(d.Cells) }
+
+// Cell returns the summary at (row, col).
+func (d *Distribution) Cell(row, col int) (stats.Summary, error) {
+	if row < 0 || row >= len(d.Cells) {
+		return stats.Summary{}, fmt.Errorf("pdb: row %d out of range [0,%d)", row, len(d.Cells))
+	}
+	if col < 0 || col >= len(d.Schema) {
+		return stats.Summary{}, fmt.Errorf("pdb: col %d out of range [0,%d)", col, len(d.Schema))
+	}
+	return d.Cells[row][col], nil
+}
+
+// CellByName returns the summary at (row, named column).
+func (d *Distribution) CellByName(row int, col string) (stats.Summary, error) {
+	i, err := d.Schema.IndexOf(col)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	return d.Cell(row, i)
+}
+
+// RunDistribution executes the plan once per sampled world and
+// aggregates each numeric cell across worlds. Every world must produce
+// the same number of rows; a query whose cardinality is world-
+// dependent is not positionally alignable and is rejected (wrap it in
+// an aggregate instead).
+func RunDistribution(plan Plan, params map[string]float64, opts WorldsOptions) (*Distribution, error) {
+	if plan == nil {
+		return nil, errors.New("pdb: nil plan")
+	}
+	opts = opts.withDefaults()
+	seeds := worldSeeds(opts.MasterSeed, opts.Worlds)
+
+	var accs [][]*stats.Accumulator
+	var dist *Distribution
+
+	var r rng.Rand
+	for w := 0; w < opts.Worlds; w++ {
+		r.Seed(seeds[w])
+		ctx := &RowCtx{Rand: &r, Params: params}
+		out, err := plan.Execute(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("pdb: world %d: %w", w, err)
+		}
+		if dist == nil {
+			dist = &Distribution{Schema: out.Schema, Worlds: opts.Worlds}
+			accs = make([][]*stats.Accumulator, len(out.Rows))
+			for i := range accs {
+				accs[i] = make([]*stats.Accumulator, len(out.Schema))
+				for j := range accs[i] {
+					accs[i][j] = stats.NewAccumulator(opts.KeepSamples)
+				}
+			}
+		} else if len(out.Rows) != len(accs) {
+			return nil, fmt.Errorf("pdb: world %d produced %d rows, world 0 produced %d; "+
+				"result cardinality must be world-invariant", w, len(out.Rows), len(accs))
+		}
+		for i, row := range out.Rows {
+			for j, v := range row {
+				if v.IsNull() {
+					continue
+				}
+				f, err := v.AsFloat()
+				if err != nil {
+					// Non-numeric cells (strings) are carried as keys,
+					// not aggregated.
+					continue
+				}
+				accs[i][j].Add(f)
+			}
+		}
+	}
+
+	if dist == nil {
+		return nil, errors.New("pdb: zero worlds requested")
+	}
+	dist.Cells = make([][]stats.Summary, len(accs))
+	for i := range accs {
+		dist.Cells[i] = make([]stats.Summary, len(accs[i]))
+		for j := range accs[i] {
+			dist.Cells[i][j] = accs[i][j].Summarize(opts.HistBins)
+		}
+	}
+	return dist, nil
+}
+
+// worldSeeds derives one seed per world from the master seed using the
+// same stream the mc engine uses, so world k of a PDB run and sample k
+// of an engine run observe identical randomness.
+func worldSeeds(master uint64, n int) []uint64 {
+	set, err := rng.NewSeedSet(master, 1)
+	if err != nil {
+		panic(err) // n >= 1 enforced by withDefaults
+	}
+	return set.StreamSeeds(master, n)
+}
+
+// BulkVGSumPlan is the set-oriented fast path for the pattern
+//
+//	SELECT SUM(VG(args...)) FROM table
+//
+// where every VG argument is deterministic per row (columns,
+// parameters, constants). Instead of executing the plan tree once per
+// world, it walks the table once, evaluating each row's argument
+// vector a single time and drawing that row's per-world samples
+// through the box's BulkEvaluator kernel. This is the column-at-a-time
+// execution a database engine brings to data-dependent models, and the
+// reason the "wrapper" beats the lightweight engine on UserSelection
+// in Fig. 7 (§6.1).
+type BulkVGSumPlan struct {
+	// Source is the scanned table.
+	Source *Table
+	// Box is the per-row VG function; it must implement BulkEvaluator.
+	Box blackbox.BulkEvaluator
+	// Args are the VG arguments, bound against Source's schema; they
+	// are evaluated with a nil world generator and must therefore be
+	// deterministic.
+	Args []BoundExpr
+}
+
+// Run produces the per-world sums.
+func (p *BulkVGSumPlan) Run(params map[string]float64, opts WorldsOptions) ([]float64, error) {
+	if p.Box == nil {
+		return nil, errors.New("pdb: bulk plan without box")
+	}
+	if len(p.Args) != p.Box.Arity() {
+		return nil, fmt.Errorf("pdb: bulk plan arity %d != box arity %d", len(p.Args), p.Box.Arity())
+	}
+	opts = opts.withDefaults()
+	seeds := worldSeeds(opts.MasterSeed, opts.Worlds)
+	sums := make([]float64, opts.Worlds)
+	ctx := &RowCtx{Rand: nil, Params: params}
+	argv := make([]float64, len(p.Args))
+	for rowID, row := range p.Source.Rows {
+		null := false
+		for i, a := range p.Args {
+			v, err := a(row, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			if argv[i], err = v.AsFloat(); err != nil {
+				return nil, err
+			}
+		}
+		if null {
+			continue // SQL SUM skips NULL contributions
+		}
+		vals := p.Box.EvalBulk(argv, seeds, rowID)
+		for w := range sums {
+			sums[w] += vals[w]
+		}
+	}
+	return sums, nil
+}
+
+// RunSummary aggregates the per-world sums into a Summary, matching
+// what RunDistribution would report for the equivalent plan tree.
+func (p *BulkVGSumPlan) RunSummary(params map[string]float64, opts WorldsOptions) (stats.Summary, error) {
+	sums, err := p.Run(params, opts)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	acc := stats.NewAccumulator(opts.KeepSamples)
+	acc.AddAll(sums)
+	return acc.Summarize(opts.HistBins), nil
+}

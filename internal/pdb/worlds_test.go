@@ -1,0 +1,250 @@
+package pdb
+
+import (
+	"math"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/rng"
+	"jigsaw/internal/stats"
+)
+
+// demandQueryPlan builds SELECT DemandModel(@week, 52) AS demand — the
+// minimal Fig. 1-style uncertain query.
+func demandQueryPlan(t *testing.T, db *DB) Plan {
+	t.Helper()
+	expr := Call{"DemandModel", []Expr{Param{"week"}, Lit{Float(52)}}}
+	bound, err := expr.Bind(Schema{}, db.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewExtendPlan(ValuesPlan{}, []NamedBound{{Name: "demand", Expr: bound}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestRunDistributionEstimatesMean(t *testing.T) {
+	db := fixtureDB(t)
+	plan := demandQueryPlan(t, db)
+	dist, err := RunDistribution(plan, map[string]float64{"week": 20}, WorldsOptions{Worlds: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Worlds != 4000 || dist.NumRows() != 1 {
+		t.Fatalf("dist shape = %d worlds × %d rows", dist.Worlds, dist.NumRows())
+	}
+	s, err := dist.CellByName(0, "demand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Mean-20) > 0.2 {
+		t.Fatalf("E[demand@20] = %g, want ~20", s.Mean)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 0.1 {
+		t.Fatalf("σ[demand@20] = %g, want ~%g", s.StdDev, math.Sqrt(2))
+	}
+}
+
+func TestRunDistributionDeterministic(t *testing.T) {
+	db := fixtureDB(t)
+	plan := demandQueryPlan(t, db)
+	a, err := RunDistribution(plan, map[string]float64{"week": 10}, WorldsOptions{Worlds: 200, MasterSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDistribution(plan, map[string]float64{"week": 10}, WorldsOptions{Worlds: 200, MasterSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.Cell(0, 0)
+	sb, _ := b.Cell(0, 0)
+	if sa.Mean != sb.Mean || sa.StdDev != sb.StdDev {
+		t.Fatal("PDB runs not reproducible under fixed master seed")
+	}
+}
+
+func TestRunDistributionCellErrors(t *testing.T) {
+	db := fixtureDB(t)
+	plan := demandQueryPlan(t, db)
+	dist, err := RunDistribution(plan, map[string]float64{"week": 10}, WorldsOptions{Worlds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.Cell(5, 0); err == nil {
+		t.Fatal("row out of range accepted")
+	}
+	if _, err := dist.Cell(0, 5); err == nil {
+		t.Fatal("col out of range accepted")
+	}
+	if _, err := dist.CellByName(0, "zzz"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestRunDistributionNilPlan(t *testing.T) {
+	if _, err := RunDistribution(nil, nil, WorldsOptions{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+func TestRunDistributionRejectsUnstableCardinality(t *testing.T) {
+	// A filter over an uncertain value yields world-dependent row
+	// counts, which the positional estimator must reject.
+	db := fixtureDB(t)
+	inner := demandQueryPlan(t, db)
+	pred, err := (BinOp{">", Col{"demand"}, Lit{Float(20)}}).Bind(inner.Schema(), db.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &SelectPlan{Child: inner, Pred: pred, Desc: "demand > 20"}
+	if _, err := RunDistribution(plan, map[string]float64{"week": 20}, WorldsOptions{Worlds: 50}); err == nil {
+		t.Fatal("unstable cardinality accepted")
+	}
+}
+
+func TestRunDistributionGroupedQuery(t *testing.T) {
+	// Aggregate over a data table with per-row VG noise: SELECT region,
+	// SUM(volume * DemandModel(week, 99)) ... GROUP BY region.
+	db := fixtureDB(t)
+	scan, _ := db.Scan("purchases")
+	noisy, err := (BinOp{"*", Col{"volume"},
+		Call{"DemandModel", []Expr{Col{"week"}, Lit{Float(99)}}}}).Bind(scan.Schema(), db.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := (Col{"region"}).Bind(scan.Schema(), db.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewGroupPlan(scan, []NamedBound{{Name: "region", Expr: region}},
+		[]AggSpec{{Kind: AggSum, Arg: noisy, Name: "weighted"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := RunDistribution(plan, nil, WorldsOptions{Worlds: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.NumRows() != 2 {
+		t.Fatalf("groups = %d", dist.NumRows())
+	}
+	east, err := dist.CellByName(0, "weighted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// East: 40·E[demand@10] + 20·E[demand@30] = 40·10 + 20·30 = 1000.
+	if math.Abs(east.Mean-1000) > 25 {
+		t.Fatalf("east weighted mean = %g, want ~1000", east.Mean)
+	}
+}
+
+func TestBulkVGSumMatchesPerWorldDistribution(t *testing.T) {
+	// The vectorized fast path must estimate the same distribution as
+	// per-world execution of the equivalent plan (different randomness
+	// order, same statistics).
+	users := blackbox.GenerateUsers(300, 11)
+	tbl := MustNewTable("join_week", "base", "growth", "vol")
+	for _, u := range users {
+		tbl.MustAppend(Row{Float(u.JoinWeek), Float(u.BaseCores), Float(u.GrowthRate), Float(u.Volatility)})
+	}
+	db := NewDB()
+	db.Boxes.MustRegister(blackbox.UserUsage{})
+	if err := db.CreateTable("users", tbl); err != nil {
+		t.Fatal(err)
+	}
+	env := db.Env()
+	scan, _ := db.Scan("users")
+
+	// Per-world plan: SELECT SUM(UserUsage(@week, join_week, base, growth, vol)).
+	usage, err := (Call{"UserUsage", []Expr{
+		Param{"week"}, Col{"join_week"}, Col{"base"}, Col{"growth"}, Col{"vol"},
+	}}).Bind(scan.Schema(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewGroupPlan(scan, nil, []AggSpec{{Kind: AggSum, Arg: usage, Name: "total"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]float64{"week": 40}
+	opts := WorldsOptions{Worlds: 1500, MasterSeed: 9}
+	dist, err := RunDistribution(plan, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWorld, err := dist.CellByName(0, "total")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bulk plan over the same table.
+	var bulkArgs []BoundExpr
+	for _, e := range []Expr{Param{"week"}, Col{"join_week"}, Col{"base"}, Col{"growth"}, Col{"vol"}} {
+		b, err := e.Bind(scan.Schema(), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bulkArgs = append(bulkArgs, b)
+	}
+	bulk := &BulkVGSumPlan{Source: tbl, Box: blackbox.UserUsage{}, Args: bulkArgs}
+	bulkSummary, err := bulk.RunSummary(params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(bulkSummary.Mean-perWorld.Mean) / perWorld.Mean; rel > 0.05 {
+		t.Fatalf("bulk mean %g vs per-world %g (rel %g)", bulkSummary.Mean, perWorld.Mean, rel)
+	}
+}
+
+func TestBulkVGSumValidation(t *testing.T) {
+	bulk := &BulkVGSumPlan{Source: MustNewTable("a"), Box: nil}
+	if _, err := bulk.Run(nil, WorldsOptions{}); err == nil {
+		t.Fatal("nil box accepted")
+	}
+	bulk2 := &BulkVGSumPlan{Source: MustNewTable("a"), Box: blackbox.UserUsage{}, Args: nil}
+	if _, err := bulk2.Run(nil, WorldsOptions{}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestBulkVGSumSkipsNullRows(t *testing.T) {
+	tbl := MustNewTable("join_week", "base", "growth", "vol")
+	tbl.MustAppend(Row{Float(0), Null(), Float(1), Float(0.1)})
+	scan := NewScanPlan("t", tbl)
+	var args []BoundExpr
+	for _, e := range []Expr{Lit{Float(10)}, Col{"join_week"}, Col{"base"}, Col{"growth"}, Col{"vol"}} {
+		b, err := e.Bind(scan.Schema(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args = append(args, b)
+	}
+	bulk := &BulkVGSumPlan{Source: tbl, Box: blackbox.UserUsage{}, Args: args}
+	sums, err := bulk.Run(nil, WorldsOptions{Worlds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sums {
+		if s != 0 {
+			t.Fatalf("NULL row contributed %g", s)
+		}
+	}
+}
+
+func TestWorldSeedsAlignWithEngineSeeds(t *testing.T) {
+	// World k and engine sample k must share a seed so PDB-layer and
+	// engine-layer results are comparable under one master seed.
+	seeds := worldSeeds(42, 16)
+	set, err := rng.NewSeedSet(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if seeds[k] != set.Seed(k) {
+			t.Fatalf("world seed %d diverges from fingerprint seed", k)
+		}
+	}
+	_ = stats.Summary{} // document the stats linkage used elsewhere
+}

@@ -1,0 +1,208 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the distribution samplers used by the paper's
+// black-box models (Fig. 6): normal, exponential, Poisson, Bernoulli,
+// uniform, log-normal, and a few utility distributions. Every sampler
+// consumes a deterministic amount of the generator's stream for a given
+// seed, which is what makes fingerprint comparison meaningful: two
+// invocations under related parameters take the same code path and see
+// the same underlying uniforms (§3.1).
+
+// Normal returns a sample from N(mu, sigma^2). sigma must be >= 0; a
+// zero sigma returns mu exactly (useful for degenerate model cases).
+//
+// The implementation is the Marsaglia polar method. The second variate
+// is cached, so a pair of Normal calls consumes a deterministic number
+// of uniforms for a given seed.
+func (r *Rand) Normal(mu, sigma float64) float64 {
+	if sigma < 0 {
+		panic(fmt.Sprintf("rng: Normal called with negative sigma %g", sigma))
+	}
+	return mu + sigma*r.StdNormal()
+}
+
+// StdNormal returns a sample from the standard normal distribution.
+func (r *Rand) StdNormal() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.hasGauss = true
+		return u * f
+	}
+}
+
+// NormalVar returns a sample from a normal distribution specified by
+// mean and *variance*, matching the paper's Algorithm 1 which writes
+// Normal(µ: …, σ²: …).
+func (r *Rand) NormalVar(mu, variance float64) float64 {
+	if variance < 0 {
+		panic(fmt.Sprintf("rng: NormalVar called with negative variance %g", variance))
+	}
+	return r.Normal(mu, math.Sqrt(variance))
+}
+
+// Exponential returns a sample from Exp(rate); mean is 1/rate. The
+// Capacity model uses it for hardware bring-up delays.
+func (r *Rand) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("rng: Exponential called with non-positive rate %g", rate))
+	}
+	// 1-Float64() is in (0,1], avoiding log(0).
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Bernoulli returns true with probability p. p outside [0,1] is
+// clamped; callers construct p from model arithmetic where slight
+// overshoot is routine.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Uniform returns a sample from U[lo, hi). It panics when hi < lo.
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: Uniform called with hi %g < lo %g", hi, lo))
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// LogNormal returns a sample whose logarithm is N(mu, sigma^2). Used by
+// the per-user requirement model (UserSelection): individual user
+// demand is heavy-tailed.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Poisson returns a sample from Poisson(lambda). For small lambda it
+// uses Knuth's product method; for large lambda the PTRS transformed
+// rejection sampler (Hörmann 1993), keeping the draw O(1).
+func (r *Rand) Poisson(lambda float64) int {
+	switch {
+	case lambda < 0:
+		panic(fmt.Sprintf("rng: Poisson called with negative lambda %g", lambda))
+	case lambda == 0:
+		return 0
+	case lambda < 30:
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		return r.poissonPTRS(lambda)
+	}
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm for lambda >= 10.
+func (r *Rand) poissonPTRS(lambda float64) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(lambda)-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// Binomial returns a sample from Binomial(n, p) by summing Bernoulli
+// trials. n is small in all model uses (failure counts per week), so
+// the O(n) cost is acceptable and the stream consumption is simple to
+// reason about.
+func (r *Rand) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic(fmt.Sprintf("rng: Binomial called with negative n %d", n))
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			k++
+		}
+	}
+	return k
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the
+// first success, sampled in O(1) by inversion.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("rng: Geometric called with p %g outside (0,1]", p))
+	}
+	if p == 1 {
+		return 0
+	}
+	u := 1 - r.Float64() // in (0, 1]
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Pareto returns a sample from a Pareto distribution with the given
+// minimum xm and shape alpha. Heavy-tailed user requirements use it in
+// workload generators.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("rng: Pareto called with xm %g, alpha %g", xm, alpha))
+	}
+	u := 1 - r.Float64()
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Categorical returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero total weight panics.
+func (r *Rand) Categorical(weights []float64) int {
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("rng: Categorical weight %d is negative (%g)", i, w))
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("rng: Categorical called with zero total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,262 @@
+// Package rng provides the deterministic pseudorandom substrate that
+// Jigsaw's fingerprinting technique is built on.
+//
+// The paper (§3.1) requires every stochastic black-box function to draw
+// all of its randomness from a pseudorandom generator seeded with an
+// externally supplied seed σ. Evaluating a function twice with the same
+// seed must consume an identical random stream, so that outputs under
+// different parameter values are deterministically related whenever the
+// underlying distributions are related. This package therefore
+// implements its own generator rather than delegating to math/rand:
+// the stream must be stable across Go releases and across machines for
+// fingerprints, tests and recorded experiment output to be reproducible.
+//
+// The generator is xoshiro256**, seeded through splitmix64 as its
+// authors recommend. Both algorithms are public domain.
+package rng
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Rand is a deterministic pseudorandom number generator. It is the only
+// source of randomness black-box functions are permitted to use. A Rand
+// is not safe for concurrent use; the Monte Carlo engine creates one
+// Rand per (parameter point, sample id) pair.
+type Rand struct {
+	s [4]uint64
+
+	// gauss caches the second variate produced by the polar method so
+	// consecutive Normal draws consume a deterministic amount of stream.
+	gauss    float64
+	hasGauss bool
+}
+
+// splitmix64 advances the given state and returns the next output of
+// the splitmix64 generator. It is used solely for seeding.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the single 64-bit seed. Distinct
+// seeds produce statistically independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the deterministic state derived from
+// seed, discarding any cached Gaussian variate.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	r.s[0] = splitmix64(&sm)
+	r.s[1] = splitmix64(&sm)
+	r.s[2] = splitmix64(&sm)
+	r.s[3] = splitmix64(&sm)
+	r.hasGauss = false
+	r.gauss = 0
+}
+
+// Uint64 returns the next 64 bits of the stream (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0,
+// matching math/rand's contract.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation. The slight
+	// modulo bias of the plain approach matters for statistical tests,
+	// so reject to make the distribution exactly uniform.
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a deterministic pseudorandom permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudorandomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("rng: Shuffle called with negative n")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// State returns the full internal state, allowing a generator to be
+// checkpointed and restored (used by the Markov engine when rebuilding
+// chain state).
+func (r *Rand) State() [4]uint64 {
+	return r.s
+}
+
+// Restore overwrites the internal state with a checkpoint produced by
+// State. The Gaussian cache is discarded: checkpoints are only taken at
+// black-box boundaries where the cache is empty by construction.
+func (r *Rand) Restore(s [4]uint64) {
+	r.s = s
+	r.hasGauss = false
+}
+
+// Mix deterministically derives a new seed from a base seed and a
+// salt. The PDB's set-oriented execution uses it to give each
+// (world, row) pair an independent stream, and the Markov engine to
+// give each (instance, step) pair one.
+func Mix(seed, salt uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(salt+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ErrEmptySeedSet is returned by NewSeedSet when m < 1.
+var ErrEmptySeedSet = errors.New("rng: seed set must contain at least one seed")
+
+// SeedSet is the global fixed vector of seeds {σk} from §3.1 of the
+// paper. All fingerprints computed against the same SeedSet are
+// comparable; the set is generated once at engine initialization and
+// held constant for the lifetime of the computation.
+type SeedSet struct {
+	seeds []uint64
+}
+
+// NewSeedSet derives m seeds from the master seed. The derivation is a
+// splitmix64 stream, so the same (master, m) always yields the same
+// set, and extending m preserves the existing prefix — the property the
+// interactive engine (§5) relies on when progressively growing
+// fingerprints.
+func NewSeedSet(master uint64, m int) (*SeedSet, error) {
+	if m < 1 {
+		return nil, ErrEmptySeedSet
+	}
+	s := &SeedSet{seeds: make([]uint64, m)}
+	sm := master
+	for i := range s.seeds {
+		s.seeds[i] = splitmix64(&sm)
+	}
+	return s, nil
+}
+
+// MustSeedSet is NewSeedSet, panicking on invalid m. Intended for
+// package-level initialization in tests and examples.
+func MustSeedSet(master uint64, m int) *SeedSet {
+	s, err := NewSeedSet(master, m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of seeds (the fingerprint length m).
+func (s *SeedSet) Len() int { return len(s.seeds) }
+
+// Seed returns σk. It panics if k is out of range, which indicates an
+// engine bug rather than a user error.
+func (s *SeedSet) Seed(k int) uint64 {
+	if k < 0 || k >= len(s.seeds) {
+		panic(fmt.Sprintf("rng: seed index %d out of range [0,%d)", k, len(s.seeds)))
+	}
+	return s.seeds[k]
+}
+
+// Extend returns a seed set with n >= s.Len() seeds sharing s's prefix.
+// The receiver is unmodified.
+func (s *SeedSet) Extend(master uint64, n int) (*SeedSet, error) {
+	if n < s.Len() {
+		return nil, fmt.Errorf("rng: cannot shrink seed set from %d to %d", s.Len(), n)
+	}
+	full, err := NewSeedSet(master, n)
+	if err != nil {
+		return nil, err
+	}
+	// Verify the prefix property: the caller must pass the same master.
+	for i, v := range s.seeds {
+		if full.seeds[i] != v {
+			return nil, errors.New("rng: Extend called with a different master seed")
+		}
+	}
+	return full, nil
+}
+
+// SampleSeed derives the seed for Monte Carlo sample id beyond the
+// fingerprint prefix. Samples 0..m-1 use the fingerprint seeds so the
+// fingerprint doubles as the first m simulation rounds (§3.1: "the
+// fingerprint of F(Pi) is essentially the outputs of first m simulation
+// rounds"); later samples extend the same splitmix64 stream
+// deterministically.
+func (s *SeedSet) SampleSeed(master uint64, id int) uint64 {
+	if id < len(s.seeds) {
+		return s.seeds[id]
+	}
+	sm := master
+	var v uint64
+	for i := 0; i <= id; i++ {
+		v = splitmix64(&sm)
+	}
+	return v
+}
+
+// StreamSeeds materializes seeds for sample ids [0, n) in one pass,
+// avoiding the quadratic cost of repeated SampleSeed calls.
+func (s *SeedSet) StreamSeeds(master uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	sm := master
+	for i := 0; i < n; i++ {
+		out[i] = splitmix64(&sm)
+	}
+	copy(out, s.seeds[:min(len(s.seeds), n)])
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+// Package sqlparse implements Jigsaw's SQL dialect (Figs. 1 and 5 of
+// the paper): DECLARE PARAMETER declarations (RANGE / SET / CHAIN),
+// parameterized SELECT ... INTO scenario queries, batch-mode OPTIMIZE
+// queries, and interactive-mode GRAPH queries.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+const (
+	// TokEOF ends the stream.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier or keyword (keywords are matched
+	// case-insensitively at parse time).
+	TokIdent
+	// TokNumber is a numeric literal.
+	TokNumber
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokParam is @name.
+	TokParam
+	// TokSymbol is punctuation or an operator.
+	TokSymbol
+)
+
+// String implements fmt.Stringer.
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokParam:
+		return "parameter"
+	case TokSymbol:
+		return "symbol"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position (1-based line
+// and column) for error reporting.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// multi-rune operators, longest first.
+var multiSymbols = []string{"<=", ">=", "<>"}
+
+// singleSymbols are the single-rune tokens.
+const singleSymbols = "(),;:<>=+-*/."
+
+// Lex tokenizes src. Lexing never fails on structure — unknown runes
+// are reported as errors with position; `--` comments run to end of
+// line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '@':
+			startLine, startCol := line, col
+			advance(1)
+			start := i
+			for i < len(src) && isIdentRune(rune(src[i])) {
+				advance(1)
+			}
+			if i == start {
+				return nil, fmt.Errorf("sqlparse:%d:%d: '@' without parameter name", startLine, startCol)
+			}
+			toks = append(toks, Token{TokParam, src[start:i], startLine, startCol})
+		case c == '\'':
+			startLine, startCol := line, col
+			advance(1)
+			start := i
+			for i < len(src) && src[i] != '\'' {
+				advance(1)
+			}
+			if i == len(src) {
+				return nil, fmt.Errorf("sqlparse:%d:%d: unterminated string", startLine, startCol)
+			}
+			toks = append(toks, Token{TokString, src[start:i], startLine, startCol})
+			advance(1) // closing quote
+		case isDigit(rune(c)) || (c == '.' && i+1 < len(src) && isDigit(rune(src[i+1]))):
+			startLine, startCol := line, col
+			start := i
+			seenDot, seenExp := false, false
+			for i < len(src) {
+				d := src[i]
+				if isDigit(rune(d)) {
+					advance(1)
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					advance(1)
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					advance(1)
+					if i < len(src) && (src[i] == '+' || src[i] == '-') {
+						advance(1)
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{TokNumber, src[start:i], startLine, startCol})
+		case isIdentStart(rune(c)):
+			startLine, startCol := line, col
+			start := i
+			for i < len(src) && isIdentRune(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, Token{TokIdent, src[start:i], startLine, startCol})
+		default:
+			matched := false
+			for _, ms := range multiSymbols {
+				if strings.HasPrefix(src[i:], ms) {
+					toks = append(toks, Token{TokSymbol, ms, line, col})
+					advance(len(ms))
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune(singleSymbols, rune(c)) {
+				toks = append(toks, Token{TokSymbol, string(c), line, col})
+				advance(1)
+				continue
+			}
+			return nil, fmt.Errorf("sqlparse:%d:%d: unexpected character %q", line, col, c)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", line, col})
+	return toks, nil
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

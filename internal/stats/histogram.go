@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binned summary of a sample set. PDB query
+// answers are distributions (§2.1: results "may be represented as an
+// expectation, maximum likelihood, histogram, etc."); histograms are
+// the representation used by the interactive GUI and by non-affine
+// mapping fallbacks.
+type Histogram struct {
+	lo, hi     float64
+	width      float64
+	counts     []int
+	total      int
+	underLo    int
+	overHi     int
+	degenerate bool // lo == hi: every in-range sample lands in bin 0
+}
+
+// NewHistogram builds a histogram over [lo, hi] with the given number
+// of bins. A degenerate range (lo == hi) yields a single-bin histogram.
+// bins < 1 and inverted ranges panic: they indicate engine bugs.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: histogram with %d bins", bins))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("stats: histogram range [%g,%g] inverted", lo, hi))
+	}
+	h := &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+	if hi == lo {
+		h.degenerate = true
+		h.width = 0
+	} else {
+		h.width = (hi - lo) / float64(bins)
+	}
+	return h
+}
+
+// Add ingests a sample; values outside [lo, hi] are tallied in
+// overflow counters rather than silently dropped.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case math.IsNaN(x):
+		// NaNs count toward the total but no bin; a NaN-heavy model is
+		// surfaced by total != sum(counts).
+	case x < h.lo:
+		h.underLo++
+	case x > h.hi:
+		h.overHi++
+	case h.degenerate:
+		h.counts[0]++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i == len(h.counts) { // x == hi lands in the last bin
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Bounds returns the histogram range.
+func (h *Histogram) Bounds() (lo, hi float64) { return h.lo, h.hi }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Total returns the number of samples ingested, including overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// Overflow returns the below-range and above-range tallies.
+func (h *Histogram) Overflow() (under, over int) { return h.underLo, h.overHi }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	if h.degenerate {
+		return h.lo
+	}
+	return h.lo + (float64(i)+0.5)*h.width
+}
+
+// Density returns the probability mass in bin i (0 when empty).
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// MapAffine returns the histogram of αX+β given the histogram of X:
+// bin edges are remapped and, when α is negative, bin order reverses.
+// Counts are preserved exactly — no resampling occurs.
+func (h *Histogram) MapAffine(alpha, beta float64) *Histogram {
+	lo := alpha*h.lo + beta
+	hi := alpha*h.hi + beta
+	out := &Histogram{
+		total:   h.total,
+		counts:  make([]int, len(h.counts)),
+		underLo: h.underLo,
+		overHi:  h.overHi,
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	out.lo, out.hi = lo, hi
+	if alpha == 0 || h.degenerate {
+		out.degenerate = true
+		out.width = 0
+		// All mass collapses to the single point β (or the degenerate
+		// original point mapped).
+		sum := 0
+		for _, c := range h.counts {
+			sum += c
+		}
+		out.counts = make([]int, 1)
+		out.counts[0] = sum
+		return out
+	}
+	out.width = (hi - lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		j := i
+		if alpha < 0 {
+			j = len(h.counts) - 1 - i
+			// Under a sign flip the overflow sides swap too.
+		}
+		out.counts[j] = c
+	}
+	if alpha < 0 {
+		out.underLo, out.overHi = h.overHi, h.underLo
+	}
+	return out
+}
+
+// Render draws a fixed-width ASCII bar chart of the histogram, used by
+// the fuzzy-prophet CLI. width is the maximum bar length in runes.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "%12.4g | %s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(10) // upper boundary lands in last bin
+	if h.Bins() != 5 || h.Total() != 11 {
+		t.Fatalf("bins/total = %d/%d", h.Bins(), h.Total())
+	}
+	wantCounts := []int{2, 2, 2, 2, 3}
+	for i, w := range wantCounts {
+		if h.Count(i) != w {
+			t.Fatalf("bin %d = %d, want %d (hist %v)", i, h.Count(i), w, h.counts)
+		}
+	}
+	lo, hi := h.Bounds()
+	if lo != 0 || hi != 10 {
+		t.Fatal("bounds wrong")
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(-5)
+	h.Add(2)
+	h.Add(0.5)
+	under, over := h.Overflow()
+	if under != 1 || over != 1 {
+		t.Fatalf("overflow = %d/%d", under, over)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramNaN(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(math.NaN())
+	if h.Total() != 1 {
+		t.Fatal("NaN not counted in total")
+	}
+	if h.Count(0) != 0 || h.Count(1) != 0 {
+		t.Fatal("NaN landed in a bin")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(3, 3, 4)
+	h.Add(3)
+	h.Add(3)
+	if h.Count(0) != 2 {
+		t.Fatal("degenerate histogram does not collect at bin 0")
+	}
+	if h.BinCenter(0) != 3 {
+		t.Fatal("degenerate bin center wrong")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins":      func() { NewHistogram(0, 1, 0) },
+		"inverted range": func() { NewHistogram(1, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramDensityAndCenter(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	h.Add(3.9)
+	if math.Abs(h.Density(1)-0.5) > 1e-12 {
+		t.Fatalf("density(1) = %g", h.Density(1))
+	}
+	if h.BinCenter(0) != 0.5 || h.BinCenter(3) != 3.5 {
+		t.Fatal("bin centers wrong")
+	}
+	empty := NewHistogram(0, 1, 1)
+	if empty.Density(0) != 0 {
+		t.Fatal("density of empty histogram != 0")
+	}
+}
+
+func TestHistogramMapAffinePositive(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	m := h.MapAffine(2, 1)
+	lo, hi := m.Bounds()
+	if lo != 1 || hi != 21 {
+		t.Fatalf("mapped bounds = %g..%g", lo, hi)
+	}
+	for i := 0; i < 5; i++ {
+		if m.Count(i) != h.Count(i) {
+			t.Fatal("positive alpha must preserve bin order")
+		}
+	}
+}
+
+func TestHistogramMapAffineNegative(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(0.5) // bin 0
+	h.Add(9.5) // bin 4
+	h.Add(-1)  // underflow
+	m := h.MapAffine(-1, 0)
+	lo, hi := m.Bounds()
+	if lo != -10 || hi != 0 {
+		t.Fatalf("mapped bounds = %g..%g", lo, hi)
+	}
+	if m.Count(0) != h.Count(4) || m.Count(4) != h.Count(0) {
+		t.Fatal("negative alpha must reverse bin order")
+	}
+	under, over := m.Overflow()
+	if under != 0 || over != 1 {
+		t.Fatalf("overflow must swap sides: %d/%d", under, over)
+	}
+}
+
+func TestHistogramMapAffineZeroAlpha(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	m := h.MapAffine(0, 7)
+	if m.Bins() != 1 || m.Count(0) != 10 {
+		t.Fatal("alpha=0 must collapse to a point mass")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(1.5)
+	s := h.Render(10)
+	if !strings.Contains(s, "#") {
+		t.Fatalf("render produced no bars: %q", s)
+	}
+	if lines := strings.Count(s, "\n"); lines != 2 {
+		t.Fatalf("render lines = %d", lines)
+	}
+	if NewHistogram(0, 1, 1).Render(-1) == "" {
+		t.Fatal("render of empty histogram produced nothing")
+	}
+}
+
+// Property: total mass is conserved by affine mapping for any alpha.
+func TestQuickMapAffineConservesMass(t *testing.T) {
+	f := func(alphaRaw, betaRaw int8, values [16]uint8) bool {
+		alpha := float64(alphaRaw) / 8
+		beta := float64(betaRaw) / 8
+		h := NewHistogram(0, 256, 8)
+		for _, v := range values {
+			h.Add(float64(v))
+		}
+		m := h.MapAffine(alpha, beta)
+		inBins := func(hh *Histogram) int {
+			s := 0
+			for i := 0; i < hh.Bins(); i++ {
+				s += hh.Count(i)
+			}
+			u, o := hh.Overflow()
+			return s + u + o
+		}
+		return m.Total() == h.Total() && inBins(m) == inBins(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package stats implements the Estimator stage of Jigsaw's Monte Carlo
+// pipeline (Fig. 3): it aggregates i.i.d. samples of a query-result
+// distribution into the characteristics of interest — expectation,
+// standard deviation, quantiles, histograms — and knows how to push
+// affine mapping functions through those characteristics exactly, which
+// is what makes basis-distribution reuse free (§3: Mexpect and family).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator ingests samples one at a time in O(1) memory for the
+// moment statistics, while optionally retaining samples for quantile
+// and histogram estimation. The Monte Carlo engine feeds it directly
+// from the sample stream.
+type Accumulator struct {
+	n          int
+	mean       float64
+	m2         float64 // sum of squared deviations (Welford)
+	min, max   float64
+	keep       bool
+	samples    []float64
+	sampleSort bool // samples sorted flag, reset on Add
+}
+
+// NewAccumulator returns an accumulator. keepSamples controls whether
+// individual samples are retained (required for quantiles/histograms;
+// the engine keeps them for basis distributions, which the interactive
+// mode extends incrementally).
+func NewAccumulator(keepSamples bool) *Accumulator {
+	return &Accumulator{keep: keepSamples, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add ingests one sample using Welford's numerically stable update.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+	if a.keep {
+		a.samples = append(a.samples, x)
+		a.sampleSort = false
+	}
+}
+
+// AddAll ingests a batch of samples.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of samples ingested.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample (+Inf with no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (−Inf with no samples).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Samples returns the retained samples (nil when not keeping). The
+// returned slice must not be mutated.
+func (a *Accumulator) Samples() []float64 { return a.samples }
+
+// Quantile returns the q'th sample quantile (linear interpolation
+// between order statistics). It returns an error when q is outside
+// [0,1], when no samples were retained, or when the accumulator is
+// empty.
+func (a *Accumulator) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g outside [0,1]", q)
+	}
+	if !a.keep {
+		return 0, errors.New("stats: accumulator does not retain samples")
+	}
+	if a.n == 0 {
+		return 0, errors.New("stats: no samples")
+	}
+	if !a.sampleSort {
+		sort.Float64s(a.samples)
+		a.sampleSort = true
+	}
+	pos := q * float64(len(a.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return a.samples[lo], nil
+	}
+	frac := pos - float64(lo)
+	return a.samples[lo]*(1-frac) + a.samples[hi]*frac, nil
+}
+
+// Summary snapshots the characteristics of an output distribution.
+// Summaries are the payloads stored with basis distributions; MapAffine
+// produces the summary of a mapped distribution without resampling.
+type Summary struct {
+	// N is the number of samples behind the summary.
+	N int
+	// Mean is the expectation estimate.
+	Mean float64
+	// StdDev is the unbiased standard deviation estimate.
+	StdDev float64
+	// Min and Max bound the observed samples.
+	Min, Max float64
+	// Quantiles holds selected quantile estimates keyed by q (e.g.
+	// 0.5 for the median); nil when samples were not retained.
+	Quantiles map[float64]float64
+	// Hist is an optional equi-width histogram of the samples.
+	Hist *Histogram
+}
+
+// DefaultQuantiles are the quantiles recorded in summaries when
+// samples are available.
+var DefaultQuantiles = []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+
+// Summarize builds a Summary from the accumulator. Histogram and
+// quantiles are included only when samples were retained; bins <= 0
+// omits the histogram.
+func (a *Accumulator) Summarize(bins int) Summary {
+	s := Summary{N: a.n, Mean: a.mean, StdDev: a.StdDev(), Min: a.min, Max: a.max}
+	if a.keep && a.n > 0 {
+		s.Quantiles = make(map[float64]float64, len(DefaultQuantiles))
+		for _, q := range DefaultQuantiles {
+			v, err := a.Quantile(q)
+			if err == nil {
+				s.Quantiles[q] = v
+			}
+		}
+		if bins > 0 {
+			s.Hist = NewHistogram(a.min, a.max, bins)
+			for _, x := range a.samples {
+				s.Hist.Add(x)
+			}
+		}
+	}
+	return s
+}
+
+// MapAffine returns the summary of the distribution αX+β given the
+// summary of X. This is the family of derived mapping functions from
+// §3: Mexpect(E[X]) = αE[X]+β, σ ↦ |α|σ, quantiles map per-point
+// (order reverses when α < 0), histograms remap bin edges.
+func (s Summary) MapAffine(alpha, beta float64) Summary {
+	out := Summary{
+		N:      s.N,
+		Mean:   alpha*s.Mean + beta,
+		StdDev: math.Abs(alpha) * s.StdDev,
+	}
+	lo := alpha*s.Min + beta
+	hi := alpha*s.Max + beta
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	out.Min, out.Max = lo, hi
+	if s.Quantiles != nil {
+		out.Quantiles = make(map[float64]float64, len(s.Quantiles))
+		for q, v := range s.Quantiles {
+			qq := q
+			if alpha < 0 {
+				qq = 1 - q
+			}
+			out.Quantiles[qq] = alpha*v + beta
+		}
+	}
+	if s.Hist != nil {
+		out.Hist = s.Hist.MapAffine(alpha, beta)
+	}
+	return out
+}
+
+// ConfidenceInterval returns the half-width of the two-sided normal
+// approximation confidence interval for the mean at the given
+// confidence level (e.g. 0.95). The interactive engine uses it to
+// decide when a point's estimate is refined enough.
+func (s Summary) ConfidenceInterval(level float64) (float64, error) {
+	if s.N == 0 {
+		return 0, errors.New("stats: no samples")
+	}
+	if level <= 0 || level >= 1 {
+		return 0, fmt.Errorf("stats: confidence level %g outside (0,1)", level)
+	}
+	z := normalQuantile(0.5 + level/2)
+	return z * s.StdDev / math.Sqrt(float64(s.N)), nil
+}
+
+// normalQuantile computes Φ⁻¹(p) by the Acklam rational approximation,
+// accurate to ~1e-9 over (0,1) — ample for CI reporting.
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// MeanOf is a convenience for one-shot mean computation.
+func MeanOf(xs []float64) float64 {
+	a := NewAccumulator(false)
+	a.AddAll(xs)
+	return a.Mean()
+}
+
+// StdDevOf is a convenience for one-shot standard deviation.
+func StdDevOf(xs []float64) float64 {
+	a := NewAccumulator(false)
+	a.AddAll(xs)
+	return a.StdDev()
+}

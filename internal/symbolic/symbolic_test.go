@@ -1,0 +1,214 @@
+package symbolic
+
+import (
+	"math"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+)
+
+func TestRVAlgebraPaperExample(t *testing.T) {
+	// The §6.2 worked example: X = 2f+2, Y = 3f+3 → X+Y = 5f+5.
+	basis := []float64{1, 2, 3, 4}
+	x, err := FromSamples(basis, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := FromSamples(basis, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := x.Add(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Alpha != 5 || sum.Beta != 5 {
+		t.Fatalf("X+Y = %g·f%+g, want 5f+5", sum.Alpha, sum.Beta)
+	}
+	diff, err := y.Sub(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Alpha != 1 || diff.Beta != 1 {
+		t.Fatalf("Y−X = %g·f%+g, want f+1", diff.Alpha, diff.Beta)
+	}
+	if s := x.Scale(3).Shift(1); s.Alpha != 6 || s.Beta != 7 {
+		t.Fatalf("3X+1 = %g·f%+g", s.Alpha, s.Beta)
+	}
+}
+
+func TestRVCrossBasisRejected(t *testing.T) {
+	a, _ := FromSamples([]float64{1, 2}, 1, 0)
+	b, _ := FromSamples([]float64{1, 2}, 1, 0) // equal values, distinct slice
+	if a.SameBasis(b) {
+		t.Fatal("distinct slices reported as same basis")
+	}
+	if _, err := a.Add(b); err == nil {
+		t.Fatal("cross-basis Add accepted")
+	}
+	if _, err := a.Sub(b); err == nil {
+		t.Fatal("cross-basis Sub accepted")
+	}
+	if _, err := FromSamples(nil, 1, 0); err == nil {
+		t.Fatal("empty basis accepted")
+	}
+}
+
+func TestRVSummaryMatchesMapping(t *testing.T) {
+	r := rng.New(9)
+	basis := make([]float64, 5000)
+	for i := range basis {
+		basis[i] = r.Normal(2, 1)
+	}
+	x, _ := FromSamples(basis, 3, -1)
+	s := x.Summary()
+	if math.Abs(s.Mean-5) > 0.15 {
+		t.Fatalf("mean = %g, want ~5", s.Mean)
+	}
+	if math.Abs(s.StdDev-3) > 0.15 {
+		t.Fatalf("stddev = %g, want ~3", s.StdDev)
+	}
+}
+
+func TestProbLessSameBasisExact(t *testing.T) {
+	basis := []float64{-2, -1, 0, 1, 2}
+	x, _ := FromSamples(basis, 1, 0) // f
+	y, _ := FromSamples(basis, 2, 0) // 2f
+	// X < Y ⇔ f < 2f ⇔ f > 0: two of five samples.
+	p, err := ProbLess(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.4 {
+		t.Fatalf("P(X<Y) = %g, want 0.4", p)
+	}
+	short, _ := FromSamples([]float64{1}, 1, 0)
+	if _, err := ProbLess(x, short); err == nil {
+		t.Fatal("unaligned bases accepted")
+	}
+}
+
+func TestEvaluatorRegistration(t *testing.T) {
+	e := NewEvaluator(mc.Options{Samples: 50, Reuse: true, Workers: 1})
+	ev := mc.MustBindBox(blackbox.NewDemand(), "week", "release")
+	if err := e.Register("demand", ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("demand", ev); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if err := e.Register("", ev); err == nil {
+		t.Fatal("empty column accepted")
+	}
+	if err := e.Register("x", nil); err == nil {
+		t.Fatal("nil evaluator accepted")
+	}
+	if _, err := e.Var("missing", param.Point{}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+// TestSymbolicOverloadMatchesDirect is the §6.2 payoff: composing the
+// overload probability symbolically from separately fingerprinted
+// demand and capacity matches direct Monte Carlo simulation of the
+// composed boolean box, while reusing almost all work across points.
+func TestSymbolicOverloadMatchesDirect(t *testing.T) {
+	const samples = 4000
+	over := blackbox.NewOverload()
+
+	e := NewEvaluator(mc.Options{Samples: samples, Reuse: true, Workers: 1, MasterSeed: 3})
+	demandEval := mc.MustBindBox(over.DemandModel, "week", "release")
+	capacityEval := mc.MustBindBox(over.CapacityModel, "week", "p1", "p2")
+	if err := e.Register("demand", demandEval); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("capacity", capacityEval); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := mc.MustNew(mc.Options{Samples: samples, Workers: 1, MasterSeed: 99})
+	directEval := mc.MustBindBox(over, "week", "p1", "p2")
+
+	for _, week := range []float64{30, 42, 46, 50} {
+		p := param.Point{"week": week, "p1": 8, "p2": 24, "release": 1e9}
+		dem, err := e.Var("demand", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap, err := e.Var("capacity", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		symbolic, err := ProbLess(cap, dem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := direct.EvaluatePoint(directEval, p).Summary.Mean
+		// Two independent 4000-sample estimates of the same
+		// probability; allow combined Monte Carlo error.
+		tol := 0.02 + 3*math.Sqrt(want*(1-want)/samples)
+		if math.Abs(symbolic-want) > tol {
+			t.Fatalf("week %g: symbolic P=%g vs direct %g (tol %g)", week, symbolic, want, tol)
+		}
+	}
+	// The whole sweep must have reused demand and capacity bases.
+	st := e.Stats()
+	if st.Reused < 4 {
+		t.Fatalf("symbolic sweep reused only %d evaluations: %+v", st.Reused, st)
+	}
+}
+
+// TestSymbolicSweepReuse measures the reuse rate over a full week
+// sweep — the quantity that turns Fig. 8's Overload bar from ~1× into
+// orders of magnitude.
+func TestSymbolicSweepReuse(t *testing.T) {
+	over := blackbox.NewOverload()
+	e := NewEvaluator(mc.Options{Samples: 500, Reuse: true, Workers: 1})
+	if err := e.Register("demand", mc.MustBindBox(over.DemandModel, "week", "release")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("capacity", mc.MustBindBox(over.CapacityModel, "week", "p1", "p2")); err != nil {
+		t.Fatal(err)
+	}
+	for week := 0.0; week <= 52; week++ {
+		p := param.Point{"week": week, "p1": 8, "p2": 24, "release": 1e9}
+		dem, err := e.Var("demand", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap, err := e.Var("capacity", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ProbLess(cap, dem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.FullSimulations > 12 {
+		t.Fatalf("symbolic sweep needed %d full simulations for 106 evaluations", st.FullSimulations)
+	}
+}
+
+func TestVarRequiresAffineMapping(t *testing.T) {
+	// The default linear class is affine, so every Var succeeds; this
+	// guards the error path with a degenerate registration.
+	e := NewEvaluator(mc.Options{Samples: 20, Reuse: true, Workers: 1})
+	ev := func(p param.Point, r *rng.Rand) float64 { return r.StdNormal() }
+	if err := e.Register("x", ev); err != nil {
+		t.Fatal(err)
+	}
+	rv, err := e.Var("x", param.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.N() != 20 {
+		t.Fatalf("basis samples = %d", rv.N())
+	}
+	if rv.Alpha != 1 || rv.Beta != 0 {
+		t.Fatalf("fresh basis mapping = %g, %g", rv.Alpha, rv.Beta)
+	}
+}

@@ -1,0 +1,209 @@
+package jigsaw_test
+
+import (
+	"math"
+	"testing"
+
+	"jigsaw"
+)
+
+// TestPublicAPIQuickstart is the doc-comment quick start, end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	demand := jigsaw.BoxFunc{
+		FuncName: "Demand", NArgs: 1,
+		Fn: func(args []float64, r *jigsaw.Rand) float64 {
+			return r.Normal(args[0], 0.1*args[0]+1)
+		},
+	}
+	eval, err := jigsaw.BindBox(demand, "week")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := jigsaw.NewEngine(jigsaw.EngineOptions{Samples: 300, Reuse: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	week, err := jigsaw.RangeParam("week", 1, 52, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := jigsaw.NewSpace(week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := eng.Sweep(eval, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 52 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if st.FullSimulations != 1 || st.Reused != 51 {
+		t.Fatalf("reuse stats = %+v", st)
+	}
+	if math.Abs(results[51].Summary.Mean-52) > 1 {
+		t.Fatalf("week 52 mean = %g", results[51].Summary.Mean)
+	}
+}
+
+// TestPublicAPIScenario drives the Fig. 1 batch pipeline through the
+// facade only.
+func TestPublicAPIScenario(t *testing.T) {
+	script, err := jigsaw.Parse(`
+DECLARE PARAMETER @current_week AS RANGE 0 TO 24 STEP BY 4;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 24 STEP BY 8;
+SELECT DemandModel(@current_week, 99) AS demand,
+       CapacityModel(@current_week, @purchase1, 0) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+OPTIMIZE SELECT @purchase1 FROM results
+WHERE MAX(EXPECT overload) < 0.5
+GROUP BY purchase1
+FOR MAX @purchase1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := jigsaw.NewRegistry()
+	if err := reg.Register(jigsaw.NewDemandModel()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(jigsaw.NewCapacityModel()); err != nil {
+		t.Fatal(err)
+	}
+	scenario, err := jigsaw.Compile(script, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := jigsaw.Optimize(scenario, script.Optimize,
+		jigsaw.EngineOptions{Samples: 100, Reuse: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen == nil {
+		t.Fatal("no feasible purchase date")
+	}
+	// Demand stays far below capacity here, so the latest purchase
+	// wins.
+	if got := res.Chosen.MustGet("purchase1"); got != 24 {
+		t.Fatalf("chosen = %g, want 24", got)
+	}
+}
+
+// TestPublicAPIMarkov exercises the chain API.
+func TestPublicAPIMarkov(t *testing.T) {
+	chain := jigsaw.NewEventChain(0.02, 7)
+	opts := jigsaw.JumpOptions{Instances: 100, FingerprintLen: 10}
+	jump, jst, err := jigsaw.MarkovJump(chain, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, nst, err := jigsaw.MarkovNaive(chain, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jo := jigsaw.ChainOutputs(chain, jump)
+	no := jigsaw.ChainOutputs(chain, naive)
+	for i := range jo {
+		if jo[i] != no[i] {
+			t.Fatalf("instance %d: %g != %g", i, jo[i], no[i])
+		}
+	}
+	if jst.TotalStepInvocations() >= nst.TotalStepInvocations() {
+		t.Fatal("jump no cheaper than naive")
+	}
+}
+
+// TestPublicAPIPDB exercises the database path.
+func TestPublicAPIPDB(t *testing.T) {
+	db := jigsaw.NewDB()
+	if err := db.Boxes.Register(jigsaw.NewDemandModel()); err != nil {
+		t.Fatal(err)
+	}
+	script, err := jigsaw.Parse(`SELECT DemandModel(@w, 99) AS demand`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := jigsaw.BuildPDBPlan(script.Selects[0], db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := jigsaw.RunDistribution(plan, map[string]float64{"w": 10},
+		jigsaw.WorldsOptions{Worlds: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := dist.CellByName(0, "demand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Mean-10) > 0.3 {
+		t.Fatalf("E[demand@10] = %g", sum.Mean)
+	}
+}
+
+// TestPublicAPISession exercises the interactive path.
+func TestPublicAPISession(t *testing.T) {
+	eval, err := jigsaw.BindBox(jigsaw.NewDemandModel(), "week", "release")
+	if err != nil {
+		t.Fatal(err)
+	}
+	week, _ := jigsaw.RangeParam("week", 1, 20, 1)
+	release, _ := jigsaw.SetParam("release", 99)
+	space, err := jigsaw.NewSpace(week, release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := jigsaw.NewSession(eval, space, jigsaw.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	focus := jigsaw.Point{"week": 10, "release": 99}
+	if err := sess.SetFocus(focus); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, _, err := sess.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, ok := sess.Estimate(focus)
+	if !ok || sum.N < 10 {
+		t.Fatalf("estimate = %+v, ok=%v", sum, ok)
+	}
+	if math.Abs(sum.Mean-10) > 2.5 {
+		t.Fatalf("estimate mean = %g, want ~10", sum.Mean)
+	}
+}
+
+// TestPublicAPIFingerprints exercises the §3 primitives directly.
+func TestPublicAPIFingerprints(t *testing.T) {
+	seeds, err := jigsaw.NewSeedSet(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA := jigsaw.ComputeFingerprint(func(seed uint64) float64 {
+		return jigsaw.NewRand(seed).Normal(0, 1)
+	}, seeds)
+	fpB := jigsaw.ComputeFingerprint(func(seed uint64) float64 {
+		return jigsaw.NewRand(seed).Normal(5, 3)
+	}, seeds)
+	store := jigsaw.NewBasisStore(jigsaw.LinearMappingClass{}, jigsaw.NewNormalizationIndex(6, 0), 0)
+	if _, err := store.Add(fpA, "A", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	basis, mapping, ok := store.Match(fpB)
+	if !ok {
+		t.Fatal("affine fingerprints did not match")
+	}
+	if basis.Label != "A" {
+		t.Fatalf("matched %q", basis.Label)
+	}
+	lin, isAffine := mapping.(interface{ Coefficients() (float64, float64) })
+	if !isAffine {
+		t.Fatal("mapping not affine")
+	}
+	alpha, beta := lin.Coefficients()
+	if math.Abs(alpha-3) > 1e-6 || math.Abs(beta-5) > 1e-6 {
+		t.Fatalf("mapping = %g·x+%g, want 3x+5", alpha, beta)
+	}
+}
