@@ -393,6 +393,58 @@ func BenchmarkAblationParallelWorlds(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWorkers measures the concurrent sweep subsystem:
+// point-level parallelism over a data-dependent model whose sweep
+// admits little reuse, so nearly every point pays a full simulation.
+// workers=1 is the sequential baseline; workers=0 (all cores) must
+// show a multi-core speedup while producing bit-identical results
+// (TestSweepParallelDeterminism in internal/mc asserts the latter).
+func BenchmarkSweepWorkers(b *testing.B) {
+	users := blackbox.NewUserSelection(500, 0xD5)
+	ev := mc.MustBindBox(users, "w")
+	d, err := param.Range("w", 0, 31, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := param.MustSpace(d)
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := mc.MustNew(mc.Options{
+					Samples: 200, FingerprintLen: benchM, MasterSeed: benchSeed,
+					Reuse: true, Index: mc.IndexNormalization, Workers: workers,
+				})
+				if _, _, err := eng.Sweep(ev, space); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepWorkersReuseHeavy is the scaling picture on the
+// opposite workload: Demand reuses almost every point, so the
+// parallel win comes from fingerprint computation (phase A) alone.
+func BenchmarkSweepWorkersReuseHeavy(b *testing.B) {
+	ev := mc.MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+	space := demandSpace(b)
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := mc.MustNew(mc.Options{
+					Samples: benchSamples, FingerprintLen: benchM, MasterSeed: benchSeed,
+					Reuse: true, Index: mc.IndexNormalization, Workers: workers,
+				})
+				if _, _, err := eng.Sweep(ev, space); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationIndexQuantization probes normalization-index digit
 // counts: coarser keys risk false positives (rejected by FindMapping),
 // finer keys risk missed matches (costing full simulations).

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -36,6 +37,7 @@ func main() {
 		column    = flag.String("column", "", "result column to explore (default: first column)")
 		batch     = flag.Int("samples-per-tick", 10, "samples per background iteration")
 		seed      = flag.Uint64("seed", 1, "master seed")
+		workers   = flag.Int("workers", runtime.NumCPU(), "worker pool for per-tick sample batches")
 	)
 	flag.Parse()
 	if *queryPath == "" {
@@ -73,6 +75,7 @@ func main() {
 	sess, err := jigsaw.NewSession(eval, scenario.Space, jigsaw.SessionOptions{
 		BatchSize:  *batch,
 		MasterSeed: *seed,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -6,12 +6,14 @@
 //
 //	jigsaw-bench [-experiment all|fig7|fig8|fig9|fig10|fig11|fig12]
 //	             [-scale quick|paper] [-samples N] [-trials N]
+//	             [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"jigsaw/internal/experiments"
@@ -23,6 +25,7 @@ func main() {
 		scale   = flag.String("scale", "paper", "quick or paper")
 		samples = flag.Int("samples", 0, "override samples per point")
 		trials  = flag.Int("trials", 0, "override timing trials")
+		workers = flag.Int("workers", 1, "sweep worker pool size (1 = paper's sequential timings, 0 = all cores)")
 	)
 	flag.Parse()
 
@@ -41,6 +44,14 @@ func main() {
 	}
 	if *trials > 0 {
 		cfg.Trials = *trials
+	}
+	// 0 (and negatives) mean all cores, matching cmd/jigsaw and the
+	// library's EngineOptions.Workers; the flag default of 1 keeps the
+	// paper's single-threaded timing semantics.
+	if *workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	} else {
+		cfg.Workers = *workers
 	}
 
 	type experiment struct {

@@ -10,7 +10,7 @@
 //
 //	jigsaw -query scenario.jsq [-samples 1000] [-m 10] [-seed 1]
 //	       [-index array|norm|sid] [-validate 0] [-fix p=v,p2=v2]
-//	       [-no-reuse]
+//	       [-no-reuse] [-workers N]
 package main
 
 import (
@@ -36,6 +36,7 @@ func main() {
 		fix       = flag.String("fix", "", "fixed parameter values for GRAPH mode: p1=v1,p2=v2")
 		noReuse   = flag.Bool("no-reuse", false, "disable fingerprint reuse (naive baseline)")
 		users     = flag.Int("users", 2000, "UserSelection dataset size")
+		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 	if *queryPath == "" {
@@ -77,6 +78,7 @@ func main() {
 		Reuse:             !*noReuse,
 		ValidationSamples: *validate,
 		KeepSamples:       *validate > 0,
+		Workers:           *workers,
 	}
 	switch *indexKind {
 	case "array":

@@ -1,0 +1,3 @@
+module jigsaw
+
+go 1.22

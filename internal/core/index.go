@@ -16,6 +16,43 @@ type Index interface {
 	Name() string
 }
 
+// Sharder is an optional Index capability that enables the store's
+// sharded locking. An index qualifies when its candidate lookup is
+// driven by a signature with the defining index property: two
+// fingerprints the mapping class can relate always produce
+// intersecting insert/probe signature sets. The store routes each
+// fingerprint to the lock shard of its signature, so related
+// fingerprints always meet in the same shard and unrelated ones never
+// contend on a lock.
+//
+// ArrayIndex deliberately does not implement Sharder: an array scan
+// must see every basis, so the store falls back to a single lock.
+type Sharder interface {
+	Index
+	// Fork returns a new empty index with the same configuration, used
+	// as one shard's private sub-index.
+	Fork() Index
+	// InsertSignature returns the signature under which fp is filed.
+	InsertSignature(fp Fingerprint) uint64
+	// ProbeSignatures returns every signature under which a basis
+	// mappable onto fp may have been filed, in probe order.
+	ProbeSignatures(fp Fingerprint) []uint64
+}
+
+// sigHash hashes an index key string to a shard signature (FNV-1a).
+func sigHash(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
 // ArrayIndex is the naive strategy: scan every basis distribution. It
 // is the baseline the two real indexes are measured against in
 // Figures 10 and 11.

@@ -67,6 +67,18 @@ func (n *NormalizationIndex) Len() int { return n.n }
 // Name implements Index.
 func (n *NormalizationIndex) Name() string { return "Normalization" }
 
+// Fork implements Sharder.
+func (n *NormalizationIndex) Fork() Index { return NewNormalizationIndex(n.digits, n.tol) }
+
+// InsertSignature implements Sharder: linearly mappable fingerprints
+// share a normal form and therefore a signature.
+func (n *NormalizationIndex) InsertSignature(fp Fingerprint) uint64 { return sigHash(n.key(fp)) }
+
+// ProbeSignatures implements Sharder.
+func (n *NormalizationIndex) ProbeSignatures(fp Fingerprint) []uint64 {
+	return []uint64{sigHash(n.key(fp))}
+}
+
 // key computes the hash key of fp's normal form. Constant fingerprints
 // are keyed by their value: identical constants (the only constants a
 // sound mapping class can relate) share a bucket, while distinct

@@ -64,6 +64,27 @@ func (s *SortedSIDIndex) Len() int { return s.n }
 // Name implements Index.
 func (s *SortedSIDIndex) Name() string { return "SortedSID" }
 
+// Fork implements Sharder.
+func (s *SortedSIDIndex) Fork() Index { return NewSortedSIDIndex(s.tol, s.bidirectional) }
+
+// InsertSignature implements Sharder: insertion files under the
+// forward SID key, so the forward signature routes it.
+func (s *SortedSIDIndex) InsertSignature(fp Fingerprint) uint64 {
+	return sigHash(s.key(fp, false))
+}
+
+// ProbeSignatures implements Sharder: an increasing mapping preserves
+// the forward key; a decreasing one lands on the reversed key, so
+// bidirectional probes cover both shards (in forward-then-reversed
+// order, matching Candidates).
+func (s *SortedSIDIndex) ProbeSignatures(fp Fingerprint) []uint64 {
+	sigs := []uint64{sigHash(s.key(fp, false))}
+	if s.bidirectional {
+		sigs = append(sigs, sigHash(s.key(fp, true)))
+	}
+	return sigs
+}
+
 // key renders the tie-grouped SID sequence of fp; reversed flips the
 // sort direction, producing the key a decreasing mapping would have
 // produced.

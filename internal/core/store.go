@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Basis is one basis distribution (§3.1): the fingerprint of a fully
@@ -20,18 +22,52 @@ type Basis struct {
 	Payload any
 }
 
+// storeShardCount is the number of lock shards a Store uses when its
+// index supports signature routing. A power of two so the signature
+// can be masked instead of divided.
+const storeShardCount = 32
+
+// storeShard is one lock shard: a private sub-index guarded by its own
+// mutex. Fingerprints are routed to shards by their index signature
+// (Sharder), so two fingerprints the mapping class can relate always
+// meet in the same shard and concurrent operations on unrelated
+// fingerprints never contend.
+type storeShard struct {
+	mu    sync.RWMutex
+	index Index
+}
+
 // Store maintains the incrementally growing set of basis distributions
 // and implements the lookup side of Algorithm 3 (FindMatch): given a
 // new fingerprint, find a basis and a mapping from the basis onto it.
+//
+// A Store is safe for concurrent use. The basis list is guarded by a
+// read-write mutex; index operations are guarded by sharded locks
+// keyed on the fingerprint's index signature when the index strategy
+// supports it (NormalizationIndex and SortedSIDIndex do), and by a
+// single lock otherwise (ArrayIndex and external Index
+// implementations). Counters are atomic. Concurrent Adds of mappable
+// fingerprints may transiently create redundant bases — the same
+// failure mode as an index miss: wasted work, never a wrong answer.
 type Store struct {
-	class   MappingClass
-	index   Index
-	tol     float64
-	bases   []*Basis
-	fpLen   int
-	queries int
-	hits    int
-	scanned int
+	class MappingClass
+	tol   float64
+
+	// mu guards bases and fpLen. The bases slice is append-only and
+	// Basis values are immutable after Add, so holding the read lock
+	// only while copying the slice header is sufficient.
+	mu    sync.RWMutex
+	bases []*Basis
+	fpLen int
+
+	// shards holds the lock shards; len(shards) == 1 when the index
+	// does not implement Sharder.
+	shards  []storeShard
+	sharder Sharder
+
+	queries atomic.Int64
+	hits    atomic.Int64
+	scanned atomic.Int64
 }
 
 // DefaultTolerance is the relative tolerance used to validate mappings
@@ -42,7 +78,9 @@ const DefaultTolerance = 1e-9
 
 // NewStore creates a store using the given mapping class and index
 // strategy. A nil index defaults to the naive array scan; a nil class
-// defaults to the linear class.
+// defaults to the linear class. When the index implements Sharder the
+// store spreads it over storeShardCount lock shards; otherwise the
+// single index instance is guarded by one lock.
 func NewStore(class MappingClass, index Index, tol float64) *Store {
 	if class == nil {
 		class = LinearClass{}
@@ -53,7 +91,23 @@ func NewStore(class MappingClass, index Index, tol float64) *Store {
 	if tol <= 0 {
 		tol = DefaultTolerance
 	}
-	return &Store{class: class, index: index, tol: tol}
+	s := &Store{class: class, tol: tol}
+	if sh, ok := index.(Sharder); ok {
+		s.sharder = sh
+		s.shards = make([]storeShard, storeShardCount)
+		s.shards[0].index = index
+		for i := 1; i < storeShardCount; i++ {
+			s.shards[i].index = sh.Fork()
+		}
+	} else {
+		s.shards = []storeShard{{index: index}}
+	}
+	return s
+}
+
+// shardFor maps a signature to its lock shard.
+func (s *Store) shardFor(sig uint64) *storeShard {
+	return &s.shards[sig&uint64(len(s.shards)-1)]
 }
 
 // Tolerance returns the store's relative tolerance.
@@ -63,22 +117,36 @@ func (s *Store) Tolerance() float64 { return s.tol }
 func (s *Store) Class() MappingClass { return s.class }
 
 // IndexName returns the active index strategy's name.
-func (s *Store) IndexName() string { return s.index.Name() }
+func (s *Store) IndexName() string { return s.shards[0].index.Name() }
+
+// Shards returns the number of lock shards (1 for non-Sharder
+// indexes).
+func (s *Store) Shards() int { return len(s.shards) }
 
 // Len returns the number of basis distributions.
-func (s *Store) Len() int { return len(s.bases) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bases)
+}
 
 // Get returns the basis with the given id.
 func (s *Store) Get(id int) (*Basis, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if id < 0 || id >= len(s.bases) {
 		return nil, false
 	}
 	return s.bases[id], true
 }
 
-// Bases returns the basis list in insertion order. The returned slice
-// must not be mutated.
-func (s *Store) Bases() []*Basis { return s.bases }
+// Bases returns a snapshot of the basis list in insertion order. The
+// returned slice must not be mutated.
+func (s *Store) Bases() []*Basis {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bases[:len(s.bases):len(s.bases)]
+}
 
 // ErrFingerprintLength is returned when a fingerprint's length differs
 // from the store's established length.
@@ -86,18 +154,34 @@ var ErrFingerprintLength = errors.New("core: fingerprint length differs from sto
 
 // Add registers a fully simulated point as a new basis distribution
 // and returns it. The first Add fixes the store's fingerprint length.
+//
+// The basis becomes visible to Get immediately and to Match once its
+// index insertion completes; a Match racing with Add may miss the new
+// basis, which costs one redundant simulation and nothing else.
 func (s *Store) Add(fp Fingerprint, label string, payload any) (*Basis, error) {
 	if len(fp) == 0 {
 		return nil, errors.New("core: empty fingerprint")
 	}
+	s.mu.Lock()
 	if s.fpLen == 0 {
 		s.fpLen = len(fp)
 	} else if len(fp) != s.fpLen {
-		return nil, fmt.Errorf("%w: got %d, store uses %d", ErrFingerprintLength, len(fp), s.fpLen)
+		got := len(fp)
+		want := s.fpLen
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: got %d, store uses %d", ErrFingerprintLength, got, want)
 	}
 	b := &Basis{ID: len(s.bases), Fingerprint: fp.Clone(), Label: label, Payload: payload}
 	s.bases = append(s.bases, b)
-	s.index.Insert(b.ID, b.Fingerprint)
+	s.mu.Unlock()
+
+	sh := &s.shards[0]
+	if s.sharder != nil {
+		sh = s.shardFor(s.sharder.InsertSignature(b.Fingerprint))
+	}
+	sh.mu.Lock()
+	sh.index.Insert(b.ID, b.Fingerprint)
+	sh.mu.Unlock()
 	return b, nil
 }
 
@@ -109,8 +193,22 @@ func (s *Store) Add(fp Fingerprint, label string, payload any) (*Basis, error) {
 // ok=false means the caller must run the full simulation and Add the
 // result as a new basis.
 func (s *Store) Match(fp Fingerprint) (basis *Basis, mapping Mapping, ok bool) {
-	s.queries++
-	if s.fpLen != 0 && len(fp) != s.fpLen {
+	return s.MatchWhere(fp, nil)
+}
+
+// MatchWhere is Match with a candidate filter: when accept is non-nil
+// it is consulted before mapping discovery, and a rejected basis is
+// skipped (not scanned, not returned) rather than ending the search.
+// The Monte Carlo engine uses it to step over bases whose payloads a
+// concurrent — or cancelled — sweep never finished filling in, so an
+// abandoned registration costs one redundant simulation instead of
+// shadowing its fingerprint family forever.
+func (s *Store) MatchWhere(fp Fingerprint, accept func(*Basis) bool) (basis *Basis, mapping Mapping, ok bool) {
+	s.queries.Add(1)
+	s.mu.RLock()
+	fpLen := s.fpLen
+	s.mu.RUnlock()
+	if fpLen != 0 && len(fp) != fpLen {
 		return nil, nil, false
 	}
 	// A constant probe cannot match under a class that rejects
@@ -120,11 +218,59 @@ func (s *Store) Match(fp Fingerprint) (basis *Basis, mapping Mapping, ok bool) {
 	if !s.class.CanMatchConstants() && fp.IsConstant(s.tol) {
 		return nil, nil, false
 	}
-	for _, id := range s.index.Candidates(fp) {
-		b := s.bases[id]
-		s.scanned++
+
+	// Collect candidate ids shard by shard, then resolve them against
+	// one snapshot of the basis list. Every id in an index was
+	// appended to bases before its Insert (program order in Add), and
+	// the shard lock's release/acquire pairing publishes that append,
+	// so every candidate id resolves in the snapshot.
+	var ids []int
+	if s.sharder == nil {
+		sh := &s.shards[0]
+		sh.mu.RLock()
+		ids = sh.index.Candidates(fp)
+		sh.mu.RUnlock()
+	} else {
+		sigs := s.sharder.ProbeSignatures(fp)
+		seen := make([]*storeShard, 0, len(sigs))
+		for _, sig := range sigs {
+			sh := s.shardFor(sig)
+			dup := false
+			for _, prev := range seen {
+				if prev == sh {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, sh)
+			sh.mu.RLock()
+			ids = append(ids, sh.index.Candidates(fp)...)
+			sh.mu.RUnlock()
+		}
+	}
+	if len(ids) == 0 {
+		return nil, nil, false
+	}
+
+	s.mu.RLock()
+	bases := s.bases[:len(s.bases):len(s.bases)]
+	s.mu.RUnlock()
+	scanned := int64(0)
+	defer func() { s.scanned.Add(scanned) }()
+	for _, id := range ids {
+		if id < 0 || id >= len(bases) {
+			continue
+		}
+		b := bases[id]
+		if accept != nil && !accept(b) {
+			continue
+		}
+		scanned++
 		if m, found := s.class.Find(b.Fingerprint, fp, s.tol); found {
-			s.hits++
+			s.hits.Add(1)
 			return b, m, true
 		}
 	}
@@ -145,12 +291,15 @@ type StoreStats struct {
 	CandidatesScanned int
 }
 
-// Stats returns a snapshot of the store counters.
+// Stats returns a snapshot of the store counters. Concurrent use can
+// make the snapshot non-atomic across counters (a Match in flight may
+// be counted in Queries but not yet in Hits); each counter is
+// individually exact.
 func (s *Store) Stats() StoreStats {
 	return StoreStats{
-		Bases:             len(s.bases),
-		Queries:           s.queries,
-		Hits:              s.hits,
-		CandidatesScanned: s.scanned,
+		Bases:             s.Len(),
+		Queries:           int(s.queries.Load()),
+		Hits:              int(s.hits.Load()),
+		CandidatesScanned: int(s.scanned.Load()),
 	}
 }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// stressFingerprint builds the family-f fingerprint mapped by (alpha,
+// beta): distinct families are not linearly relatable, members of one
+// family are.
+func stressFingerprint(family, m int, alpha, beta float64) Fingerprint {
+	fp := make(Fingerprint, m)
+	for k := range fp {
+		base := float64(family*31) + float64(k) + float64((k*k*(family+3))%17)
+		fp[k] = alpha*base + beta
+	}
+	return fp
+}
+
+// TestStoreConcurrentStress hammers one store with concurrent Add and
+// Match from every index strategy; run under -race this is the
+// concurrency guarantee of the sharded store. Invariants checked:
+// dense unique IDs, every returned mapping valid, counters coherent.
+func TestStoreConcurrentStress(t *testing.T) {
+	// families stays below 17: the %17 term in stressFingerprint makes
+	// family f and f+17 genuinely affine-related, which would merge
+	// their bases and break the per-family accounting below.
+	const (
+		m        = 10
+		families = 16
+		rounds   = 200
+	)
+	indexes := map[string]func() Index{
+		"array": func() Index { return NewArrayIndex() },
+		"norm":  func() Index { return NewNormalizationIndex(6, DefaultTolerance) },
+		"sid":   func() Index { return NewSortedSIDIndex(DefaultTolerance, true) },
+	}
+	for name, mk := range indexes {
+		t.Run(name, func(t *testing.T) {
+			store := NewStore(LinearClass{}, mk(), DefaultTolerance)
+			workers := runtime.GOMAXPROCS(0) * 2
+			if workers < 4 {
+				workers = 4
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						family := (w + i) % families
+						alpha := 1 + float64((w*rounds+i)%7)
+						beta := float64(i % 5)
+						fp := stressFingerprint(family, m, alpha, beta)
+						if b, mapping, ok := store.Match(fp); ok {
+							if !Validate(mapping, b.Fingerprint, fp, store.Tolerance()) {
+								errs <- fmt.Errorf("worker %d: invalid mapping %v returned for family %d", w, mapping, family)
+								return
+							}
+							continue
+						}
+						if _, err := store.Add(fp, fmt.Sprintf("w%d/i%d", w, i), family); err != nil {
+							errs <- fmt.Errorf("worker %d: Add: %v", w, err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			bases := store.Bases()
+			if len(bases) != store.Len() {
+				t.Fatalf("Bases() length %d != Len() %d", len(bases), store.Len())
+			}
+			// Concurrent adds may create redundant bases per family, but
+			// never more than one per (family, goroutine) in the worst
+			// case — and IDs must be dense and consistent.
+			if len(bases) < families {
+				t.Fatalf("got %d bases, want at least one per family (%d)", len(bases), families)
+			}
+			for i, b := range bases {
+				if b.ID != i {
+					t.Fatalf("basis at position %d has ID %d", i, b.ID)
+				}
+				got, ok := store.Get(b.ID)
+				if !ok || got != b {
+					t.Fatalf("Get(%d) did not return the stored basis", b.ID)
+				}
+				if len(b.Fingerprint) != m {
+					t.Fatalf("basis %d fingerprint length %d, want %d", b.ID, len(b.Fingerprint), m)
+				}
+			}
+			st := store.Stats()
+			if st.Bases != len(bases) {
+				t.Fatalf("Stats.Bases = %d, want %d", st.Bases, len(bases))
+			}
+			if st.Queries != workers*rounds {
+				t.Fatalf("Stats.Queries = %d, want %d", st.Queries, workers*rounds)
+			}
+			if st.Hits > st.Queries {
+				t.Fatalf("Stats.Hits %d exceeds Queries %d", st.Hits, st.Queries)
+			}
+			if st.Hits+st.Bases != workers*rounds {
+				t.Fatalf("hits (%d) + bases (%d) != operations (%d): a Match neither hit nor led to Add",
+					st.Hits, st.Bases, workers*rounds)
+			}
+		})
+	}
+}
+
+// TestStoreShardRouting checks that sharded stores still find every
+// mappable basis: matches must be exactly as good as the single-shard
+// store's on a sequential workload.
+func TestStoreShardRouting(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Index
+	}{
+		{"norm", func() Index { return NewNormalizationIndex(6, DefaultTolerance) }},
+		{"sid", func() Index { return NewSortedSIDIndex(DefaultTolerance, true) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			store := NewStore(LinearClass{}, tc.mk(), DefaultTolerance)
+			if store.Shards() != storeShardCount {
+				t.Fatalf("Shards() = %d, want %d", store.Shards(), storeShardCount)
+			}
+			const families = 64
+			for f := 0; f < families; f++ {
+				if _, err := store.Add(stressFingerprint(f, 10, 1, 0), "", nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for f := 0; f < families; f++ {
+				for _, mapping := range []Linear{{Alpha: 2, Beta: 3}, {Alpha: -1.5, Beta: 7}} {
+					probe := stressFingerprint(f, 10, mapping.Alpha, mapping.Beta)
+					b, m, ok := store.Match(probe)
+					if !ok {
+						t.Fatalf("family %d probe %v missed", f, mapping)
+					}
+					if !Validate(m, b.Fingerprint, probe, store.Tolerance()) {
+						t.Fatalf("family %d: invalid mapping %v", f, m)
+					}
+				}
+			}
+		})
+	}
+}

@@ -69,12 +69,22 @@ func RunGraph(s *Scenario, g *sqlparse.GraphStmt, fixed param.Point, opts mc.Opt
 		evals[series.Column] = ev
 	}
 
+	// The swept points are shared by every column's engine; each
+	// engine walks them through its worker pool (Options.Workers) via
+	// the deterministic batched sweep.
+	batch := make([]param.Point, 0, len(domain))
+	for _, x := range domain {
+		batch = append(batch, fixed.With(g.Over, x))
+	}
 	type cell struct{ mean, std float64 }
 	values := map[string][]cell{}
 	for col, eng := range engines {
+		prs, _, err := eng.SweepBatch(evals[col], batch)
+		if err != nil {
+			return nil, err
+		}
 		cells := make([]cell, 0, len(domain))
-		for _, x := range domain {
-			pr := eng.EvaluatePoint(evals[col], fixed.With(g.Over, x))
+		for _, pr := range prs {
 			cells = append(cells, cell{pr.Summary.Mean, pr.Summary.StdDev})
 		}
 		values[col] = cells

@@ -40,6 +40,11 @@ type Config struct {
 	MarkovInstances int
 	// Trials averages timing measurements (paper: 30).
 	Trials int
+	// Workers sizes the engines' sweep worker pools. The default of 1
+	// reproduces the paper's single-threaded timings; jigsaw-bench
+	// -workers overrides it to measure multi-core scaling (results
+	// are bit-identical either way).
+	Workers int
 }
 
 // Defaults returns the paper-scale configuration (§6 experimental
@@ -55,6 +60,7 @@ func Defaults() Config {
 		MarkovSteps:     128,
 		MarkovInstances: 1000,
 		Trials:          3,
+		Workers:         1,
 	}
 }
 
@@ -71,6 +77,7 @@ func Quick() Config {
 		MarkovSteps:     64,
 		MarkovInstances: 200,
 		Trials:          1,
+		Workers:         1,
 	}
 }
 
@@ -102,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Trials == 0 {
 		c.Trials = d.Trials
+	}
+	if c.Workers == 0 {
+		c.Workers = d.Workers
 	}
 	return c
 }

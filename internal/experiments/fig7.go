@@ -99,7 +99,7 @@ func fig7Cases(cfg Config) ([]fig7Case, error) {
 	worlds := pdb.WorldsOptions{Worlds: cfg.Samples, MasterSeed: cfg.MasterSeed}
 	engineOpts := mc.Options{
 		Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
-		MasterSeed: cfg.MasterSeed, Reuse: false, Workers: 1,
+		MasterSeed: cfg.MasterSeed, Reuse: false, Workers: cfg.Workers,
 	}
 
 	// Reusable wrapper runner: re-parse and re-plan per invocation, as

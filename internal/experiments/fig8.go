@@ -82,7 +82,7 @@ func Figure8(cfg Config) ([]Fig8Row, *Table, error) {
 	engineOpts := func(reuse bool) mc.Options {
 		return mc.Options{
 			Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
-			MasterSeed: cfg.MasterSeed, Reuse: reuse, Workers: 1,
+			MasterSeed: cfg.MasterSeed, Reuse: reuse, Workers: cfg.Workers,
 			// StrictConstants reproduces Algorithm 2 literally:
 			// constant fingerprints never match, which is what caps
 			// Overload's gain at ~2× in the paper (its boolean output

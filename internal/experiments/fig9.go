@@ -66,7 +66,7 @@ func Figure9(cfg Config) ([]Fig9Row, *Table, error) {
 			elapsed := timeIt(cfg.Trials, func() {
 				eng := mc.MustNew(mc.Options{
 					Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
-					MasterSeed: cfg.MasterSeed, Reuse: true, Index: kind, Workers: 1,
+					MasterSeed: cfg.MasterSeed, Reuse: true, Index: kind, Workers: cfg.Workers,
 				})
 				_, st, err := eng.Sweep(ev, space)
 				if err != nil {

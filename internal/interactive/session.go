@@ -10,6 +10,7 @@
 package interactive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"jigsaw/internal/core"
 	"jigsaw/internal/mc"
 	"jigsaw/internal/param"
+	"jigsaw/internal/pool"
 	"jigsaw/internal/rng"
 	"jigsaw/internal/stats"
 )
@@ -65,6 +67,11 @@ type Options struct {
 	Tolerance float64
 	// HistBins adds a histogram to estimates when > 0.
 	HistBins int
+	// Workers sizes the pool a tick's sample batch is drawn on; 0 or
+	// 1 draws sequentially. Each (point, sampleID) pair has its own
+	// seed, so the session state after any tick is identical for
+	// every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +83,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Tolerance <= 0 {
 		o.Tolerance = core.DefaultTolerance
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -180,11 +190,20 @@ func (s *Session) SetFocus(p param.Point) error {
 // Focus returns the current point of interest.
 func (s *Session) Focus() param.Point { return s.focus.Clone() }
 
-// sampleValue draws the point's value for a given sample id.
-func (s *Session) sampleValue(p param.Point, id int) float64 {
-	seed := s.seeds.SampleSeed(s.opts.MasterSeed, id)
-	s.stats.Evaluations++
-	return s.eval(p, rng.New(seed))
+// drawBatch evaluates the given sample ids for p on the session's
+// worker pool (Options.Workers) and returns the values in id-slice
+// order. Each id's seed is independent of every other draw, so the
+// result is identical for any worker count. Committed draws are
+// counted by the caller, not here: validation may discard speculative
+// draws after a mismatch, and the Evaluations counter tracks session
+// state, which must stay worker-count independent.
+func (s *Session) drawBatch(p param.Point, ids []int) []float64 {
+	out := make([]float64, len(ids))
+	// pool.For with a background context never returns an error.
+	_ = pool.For(context.Background(), len(ids), s.opts.Workers, func(k int) {
+		out[k] = s.eval(p, rng.New(s.seeds.SampleSeed(s.opts.MasterSeed, ids[k])))
+	})
+	return out
 }
 
 // ensurePoint initializes a point: compute its fingerprint (its first
@@ -196,11 +215,16 @@ func (s *Session) ensurePoint(p param.Point) (*pointState, error) {
 	if ps, ok := s.points[key]; ok {
 		return ps, nil
 	}
-	fp := make(core.Fingerprint, s.opts.FingerprintLen)
+	ids := make([]int, s.opts.FingerprintLen)
+	for k := range ids {
+		ids[k] = k
+	}
+	vals := s.drawBatch(p, ids)
+	s.stats.Evaluations += len(ids)
+	fp := core.Fingerprint(vals)
 	drawn := make(map[int]float64, len(fp))
-	for k := range fp {
-		fp[k] = s.sampleValue(p, k)
-		drawn[k] = fp[k]
+	for k, v := range fp {
+		drawn[k] = v
 	}
 	ps := &pointState{
 		point:       p.Clone(),
@@ -312,16 +336,17 @@ func (s *Session) taskHeuristic() Task {
 }
 
 // refine draws BatchSize fresh sample ids for the point and folds them
-// into the basis through the inverse mapping (M⁻¹, §5).
+// into the basis through the inverse mapping (M⁻¹, §5). The ids are
+// picked first, then the batch is drawn on the worker pool.
 func (s *Session) refine(ps *pointState) {
 	b := s.bases[ps.basisID]
 	inv, ok := ps.mapping.Inverse()
 	if !ok {
 		inv = nil
 	}
+	ids := make([]int, 0, s.opts.BatchSize)
 	id := 0
-	added := 0
-	for added < s.opts.BatchSize {
+	for len(ids) < s.opts.BatchSize {
 		// Next id unused by both the basis and the point.
 		for {
 			_, inBasis := b.samples[id]
@@ -331,13 +356,17 @@ func (s *Session) refine(ps *pointState) {
 			}
 			id++
 		}
-		v := s.sampleValue(ps.point, id)
-		ps.drawn[id] = v
+		ids = append(ids, id)
+		id++
+	}
+	vals := s.drawBatch(ps.point, ids)
+	s.stats.Evaluations += len(ids)
+	for k, id := range ids {
+		ps.drawn[id] = vals[k]
 		if inv != nil {
-			b.samples[id] = inv.Apply(v)
+			b.samples[id] = inv.Apply(vals[k])
 			b.contributor[id] = ps.point.Key()
 		}
-		added++
 	}
 }
 
@@ -365,10 +394,25 @@ func (s *Session) validate(ps *pointState) {
 		s.refine(ps)
 		return
 	}
-	for _, id := range ids {
-		v := s.sampleValue(ps.point, id)
+	// With a pool, the whole batch is drawn speculatively; a mismatch
+	// at position k commits only ids[0..k] — exactly the state the
+	// sequential loop below reaches by stopping there — and the later
+	// speculative draws are discarded uncounted, keeping the session
+	// state and Evaluations counter identical for every worker count.
+	var vals []float64
+	if s.opts.Workers > 1 {
+		vals = s.drawBatch(ps.point, ids)
+	}
+	for k, id := range ids {
+		v := 0.0
+		if vals != nil {
+			v = vals[k]
+		} else {
+			v = s.eval(ps.point, rng.New(s.seeds.SampleSeed(s.opts.MasterSeed, id)))
+		}
 		ps.drawn[id] = v
 		ps.validated[id] = true
+		s.stats.Evaluations++
 		if !approxEqual(v, ps.mapping.Apply(b.samples[id]), s.opts.Tolerance) {
 			s.rebind(ps)
 			return

@@ -1,0 +1,72 @@
+package interactive
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+)
+
+// runSession drives a fresh session through a fixed focus/tick script
+// and returns the estimates it saw plus the final counters.
+func runSession(t *testing.T, eval mc.PointEval, workers int) ([]float64, Stats) {
+	t.Helper()
+	d, err := param.Range("week", 0, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(eval, param.MustSpace(d), Options{MasterSeed: 3, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var means []float64
+	for _, focus := range []float64{4, 5, 12, 11, 4} {
+		if err := s.SetFocus(param.Point{"week": focus}); err != nil {
+			t.Fatal(err)
+		}
+		for tick := 0; tick < 9; tick++ {
+			if _, _, err := s.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		est, ok := s.Estimate(param.Point{"week": focus})
+		if !ok {
+			t.Fatalf("no estimate for focus %g", focus)
+		}
+		means = append(means, est.Mean, est.StdDev)
+	}
+	return means, s.Stats()
+}
+
+// TestSessionWorkersDeterministic checks the §5 session reaches a
+// bit-identical state whether its per-tick batches are drawn
+// sequentially or on a pool: per-sample seeding makes the draw order
+// irrelevant. forkEval forces validation failures, so the speculative
+// validation path is covered too. Run under -race this also checks
+// the pool itself.
+func TestSessionWorkersDeterministic(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 4
+	}
+	for _, tc := range []struct {
+		name string
+		eval mc.PointEval
+	}{
+		{"linear", linearEval},
+		{"fork", forkEval},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seqMeans, seqStats := runSession(t, tc.eval, 1)
+			parMeans, parStats := runSession(t, tc.eval, workers)
+			if !reflect.DeepEqual(seqMeans, parMeans) {
+				t.Fatalf("estimates diverged:\nworkers=1: %v\nworkers=%d: %v", seqMeans, workers, parMeans)
+			}
+			if seqStats != parStats {
+				t.Fatalf("stats diverged:\nworkers=1: %+v\nworkers=%d: %+v", seqStats, workers, parStats)
+			}
+		})
+	}
+}

@@ -7,10 +7,10 @@
 package mc
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"jigsaw/internal/blackbox"
 	"jigsaw/internal/core"
@@ -115,8 +115,11 @@ type Options struct {
 	// HistBins adds an equi-width histogram to summaries when
 	// KeepSamples is set.
 	HistBins int
-	// Workers bounds the sample-generation worker pool; 0 means
-	// GOMAXPROCS, 1 forces sequential evaluation.
+	// Workers sizes the engine's worker pool; 0 means GOMAXPROCS, 1
+	// forces sequential evaluation. Sweep and SweepBatch spread
+	// parameter points across the pool; a lone EvaluatePoint call
+	// spreads its sample rounds instead. Results are deterministic for
+	// any worker count (see DESIGN.md, "Concurrency model").
 	Workers int
 }
 
@@ -159,6 +162,36 @@ type BasisPayload struct {
 	Summary stats.Summary
 	// Samples holds the raw draws when Options.KeepSamples is set.
 	Samples []float64
+
+	// pending is nonzero between a parallel sweep registering the
+	// basis (phase B) and filling in its simulation results (phase C).
+	// Everywhere else payloads are constructed complete, so the zero
+	// value reads as ready.
+	pending atomic.Uint32
+}
+
+// markPending flags the payload as incomplete; it must be called
+// before the payload is published through Store.Add.
+func (p *BasisPayload) markPending() { p.pending.Store(1) }
+
+// complete publishes the filled fields: the atomic store orders the
+// preceding plain writes before any reader that observes Ready.
+func (p *BasisPayload) complete() { p.pending.Store(0) }
+
+// Ready reports whether the payload's fields may be read. A payload
+// is not ready while the sweep that registered it is still filling it
+// in — or indefinitely, if that sweep was cancelled mid-flight. The
+// engine's match filter (payloadReady) skips not-ready bases, so an
+// abandoned registration costs one redundant simulation (the next
+// miss registers a usable duplicate) and never a wrong answer.
+func (p *BasisPayload) Ready() bool { return p.pending.Load() == 0 }
+
+// payloadReady is the engine's Store.MatchWhere filter: bases whose
+// payloads are still (or forever) incomplete are skipped during
+// candidate scanning. Foreign payload types are left to mapBasis.
+func payloadReady(b *core.Basis) bool {
+	p, ok := b.Payload.(*BasisPayload)
+	return !ok || p.Ready()
 }
 
 // PointResult is the engine's answer for one parameter point.
@@ -178,15 +211,23 @@ type PointResult struct {
 }
 
 // Engine evaluates parameter points with optional fingerprint reuse.
-// An Engine is not safe for concurrent use; its internal worker pool
-// parallelizes within a point evaluation.
+//
+// An Engine is safe for concurrent use: the basis store takes sharded
+// locks and the reuse counters are atomic, so independent goroutines
+// (e.g. interactive sessions sharing a warmed store) may call
+// EvaluatePoint concurrently. Note that concurrent EvaluatePoint
+// callers race benignly on basis registration — both may fully
+// simulate the same fingerprint family before either Adds it. Sweep
+// and SweepBatch avoid that by sequencing all store decisions in
+// enumeration order, which also makes their results bit-identical for
+// every Workers setting.
 type Engine struct {
 	opts  Options
 	seeds *rng.SeedSet
 	store *core.Store
 
-	fullSims int
-	reused   int
+	fullSims atomic.Int64
+	reused   atomic.Int64
 }
 
 // New constructs an engine.
@@ -240,17 +281,17 @@ func (e *Engine) EvaluatePoint(f PointEval, p param.Point) PointResult {
 	fp := e.Fingerprint(f, p)
 
 	if e.opts.Reuse {
-		if basis, mapping, ok := e.store.Match(fp); ok {
+		if basis, mapping, ok := e.store.MatchWhere(fp, payloadReady); ok {
 			if e.validateMatch(f, p, basis, mapping) {
-				if res, ok := e.mapBasis(basis, mapping, p); ok {
-					e.reused++
+				if res, ok := e.mapBasis(basis, mapping, p, false); ok {
+					e.reused.Add(1)
 					return res
 				}
 			}
 		}
 	}
 
-	res, samples := e.fullSimulation(f, p, fp)
+	res, samples := e.fullSimulation(f, p, fp, e.opts.Workers)
 	if e.opts.Reuse {
 		payload := &BasisPayload{Summary: res.Summary}
 		if e.opts.KeepSamples {
@@ -261,7 +302,7 @@ func (e *Engine) EvaluatePoint(f PointEval, p param.Point) PointResult {
 			res.BasisID = basis.ID
 		}
 	}
-	e.fullSims++
+	e.fullSims.Add(1)
 	return res
 }
 
@@ -276,7 +317,15 @@ func (e *Engine) validateMatch(f PointEval, p param.Point, basis *core.Basis, ma
 		return true
 	}
 	payload, _ := basis.Payload.(*BasisPayload)
-	if payload == nil || len(payload.Samples) == 0 {
+	if payload == nil {
+		return true
+	}
+	if !payload.Ready() {
+		// Another sweep is still filling this basis in; it cannot be
+		// validated, so reject the match and simulate.
+		return false
+	}
+	if len(payload.Samples) == 0 {
 		return true
 	}
 	m := e.opts.FingerprintLen
@@ -325,11 +374,13 @@ func abs(x float64) float64 {
 // mapBasis derives the point's result from a matched basis. Affine
 // mappings push through the summary exactly; other mapping classes
 // fall back to mapping retained samples point-wise. A basis that
-// supports neither path is reported unusable (ok=false) and the
-// caller runs the full simulation.
-func (e *Engine) mapBasis(basis *core.Basis, mapping core.Mapping, p param.Point) (PointResult, bool) {
+// supports neither path — or whose payload a concurrent sweep is
+// still filling (trusted=false) — is reported unusable (ok=false)
+// and the caller runs the full simulation. trusted skips the Ready
+// check for bases the caller itself completed under a barrier.
+func (e *Engine) mapBasis(basis *core.Basis, mapping core.Mapping, p param.Point, trusted bool) (PointResult, bool) {
 	payload, _ := basis.Payload.(*BasisPayload)
-	if payload == nil {
+	if payload == nil || (!trusted && !payload.Ready()) {
 		return PointResult{}, false
 	}
 	if aff, ok := mapping.(core.Affine); ok {
@@ -360,11 +411,13 @@ func (e *Engine) mapBasis(basis *core.Basis, mapping core.Mapping, p param.Point
 
 // fullSimulation runs all n rounds: the fingerprint rounds are reused
 // as the first m samples, the remainder is drawn from the extended
-// seed stream, optionally in parallel (MCDB evaluates sampled worlds
-// in parallel, §2.1). Results are deterministic regardless of worker
-// count because each sample's seed depends only on its id. The raw
-// sample vector is returned for basis-payload retention.
-func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint) (PointResult, []float64) {
+// seed stream, optionally spread over workers goroutines (MCDB
+// evaluates sampled worlds in parallel, §2.1; the parallel sweep
+// passes workers=1 because the pool is already busy with other
+// points). Results are deterministic regardless of worker count
+// because each sample's seed depends only on its id. The raw sample
+// vector is returned for basis-payload retention.
+func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint, workers int) (PointResult, []float64) {
 	n := e.opts.Samples
 	samples := make([]float64, n)
 	copy(samples, fp)
@@ -373,7 +426,6 @@ func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint)
 	rest := samples[len(fp):]
 	restSeeds := seeds[len(fp):]
 
-	workers := e.opts.Workers
 	if workers > 1 && len(rest) >= 256 {
 		var wg sync.WaitGroup
 		chunk := (len(rest) + workers - 1) / workers
@@ -422,28 +474,12 @@ type SweepStats struct {
 	Store core.StoreStats
 }
 
-// Sweep evaluates every point of the space in enumeration order and
-// returns per-point results plus reuse statistics. This is Jigsaw's
-// batch-mode inner loop (Fig. 3): Parameter Enumerator → PDB → basis
-// reuse.
-func (e *Engine) Sweep(f PointEval, space *param.Space) ([]PointResult, SweepStats, error) {
-	if space == nil {
-		return nil, SweepStats{}, errors.New("mc: nil parameter space")
-	}
-	results := make([]PointResult, 0, space.Size())
-	space.Each(func(p param.Point) bool {
-		results = append(results, e.EvaluatePoint(f, p))
-		return true
-	})
-	return results, e.Stats(len(results)), nil
-}
-
 // Stats returns sweep statistics with the given point count.
 func (e *Engine) Stats(points int) SweepStats {
 	return SweepStats{
 		Points:          points,
-		FullSimulations: e.fullSims,
-		Reused:          e.reused,
+		FullSimulations: int(e.fullSims.Load()),
+		Reused:          int(e.reused.Load()),
 		Store:           e.store.Stats(),
 	}
 }

@@ -1,0 +1,276 @@
+package mc
+
+import (
+	"context"
+	"errors"
+
+	"jigsaw/internal/core"
+	"jigsaw/internal/param"
+	"jigsaw/internal/pool"
+)
+
+// This file implements the concurrent sweep subsystem: point-level
+// parallelism over a parameter space (or an explicit batch of points)
+// with results bit-identical to a sequential sweep.
+//
+// A naive parallel sweep would race on the basis store: whichever
+// point finishes first registers the basis, and every other mappable
+// point's result depends on that timing. Instead the sweep runs in
+// three phases (DESIGN.md, "Concurrency model"):
+//
+//	A. fingerprints for every point, in parallel — each fingerprint
+//	   depends only on (point, seed set), never on other points;
+//	B. store decisions (Match / Add / validation) strictly in
+//	   enumeration order — cheap, and exactly the decisions the
+//	   sequential sweep takes;
+//	C. full simulations for the miss points in parallel, then mapped
+//	   results for the hit points — each deterministic given phase B.
+//
+// Phase B is the only sequential section; it does O(m·bases) float
+// comparisons per point while phases A and C carry the O(n) model
+// evaluations, so wall-clock scales with the worker count. The
+// exception is match validation (ValidationSamples with KeepSamples —
+// off by default): its paired draws and inline basis completions run
+// inside phase B, so validation-enabled sweeps trade scaling for the
+// guard. (The target-side draws depend only on (point, seeds) and
+// could be hoisted into phase A if that trade ever matters.)
+
+// Sweep evaluates every point of the space in enumeration order and
+// returns per-point results plus reuse statistics. This is Jigsaw's
+// batch-mode inner loop (Fig. 3): Parameter Enumerator → PDB → basis
+// reuse. With Options.Workers > 1 the points are evaluated by a
+// worker pool; results and statistics are bit-identical to Workers: 1.
+func (e *Engine) Sweep(f PointEval, space *param.Space) ([]PointResult, SweepStats, error) {
+	return e.SweepContext(context.Background(), f, space)
+}
+
+// SweepContext is Sweep with cancellation: it stops early (returning
+// ctx.Err()) when the context is cancelled.
+func (e *Engine) SweepContext(ctx context.Context, f PointEval, space *param.Space) ([]PointResult, SweepStats, error) {
+	if space == nil {
+		return nil, SweepStats{}, errors.New("mc: nil parameter space")
+	}
+	if e.sweepWorkers(space.Size()) <= 1 {
+		results := make([]PointResult, 0, space.Size())
+		var err error
+		space.Each(func(p param.Point) bool {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+			results = append(results, e.EvaluatePoint(f, p))
+			return true
+		})
+		if err != nil {
+			return nil, SweepStats{}, err
+		}
+		return results, e.Stats(len(results)), nil
+	}
+	return e.sweepParallel(ctx, f, space.Points())
+}
+
+// SweepBatch evaluates an explicit list of parameter points through
+// the engine's worker pool, in slice order, with the same determinism
+// guarantee as Sweep. It is the building block for callers that
+// compose points themselves: the optimizer's (group × sweep) product,
+// a graph statement's domain walk, or an interactive prefetch batch.
+func (e *Engine) SweepBatch(f PointEval, points []param.Point) ([]PointResult, SweepStats, error) {
+	return e.SweepBatchContext(context.Background(), f, points)
+}
+
+// SweepBatchContext is SweepBatch with cancellation.
+func (e *Engine) SweepBatchContext(ctx context.Context, f PointEval, points []param.Point) ([]PointResult, SweepStats, error) {
+	if e.sweepWorkers(len(points)) <= 1 {
+		results := make([]PointResult, 0, len(points))
+		for _, p := range points {
+			if err := ctx.Err(); err != nil {
+				return nil, SweepStats{}, err
+			}
+			results = append(results, e.EvaluatePoint(f, p))
+		}
+		return results, e.Stats(len(results)), nil
+	}
+	return e.sweepParallel(ctx, f, points)
+}
+
+// sweepWorkers clamps the configured pool size to the job size.
+func (e *Engine) sweepWorkers(points int) int {
+	w := e.opts.Workers
+	if w > points {
+		w = points
+	}
+	return w
+}
+
+// pointPlan is phase B's decision for one point.
+type pointPlan struct {
+	// simulate marks a miss: the point runs a full simulation in
+	// phase C1.
+	simulate bool
+	// basis is the matched basis (reuse) or the newly registered one
+	// (simulate with reuse enabled); nil with reuse disabled.
+	basis *core.Basis
+	// payload is the registered basis' payload, filled by C1.
+	payload *BasisPayload
+	// mapping maps the matched basis onto this point (reuse only).
+	mapping core.Mapping
+}
+
+// sweepParallel is the phased concurrent sweep. See the file comment
+// for the phase structure and DESIGN.md for the determinism argument.
+func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.Point) ([]PointResult, SweepStats, error) {
+	n := len(points)
+	workers := e.sweepWorkers(n)
+	results := make([]PointResult, n)
+	fps := make([]core.Fingerprint, n)
+
+	// Phase A: fingerprints, embarrassingly parallel.
+	if err := pool.For(ctx, n, workers, func(i int) {
+		fps[i] = e.Fingerprint(f, points[i])
+	}); err != nil {
+		return nil, SweepStats{}, err
+	}
+
+	// Phase B: store decisions in enumeration order. pending maps a
+	// basis ID registered during this sweep to the index of the point
+	// that owns its simulation; done marks points already simulated
+	// inline by the validation path.
+	plans := make([]pointPlan, n)
+	pending := make(map[int]int)
+	done := make([]bool, n)
+	validating := e.opts.ValidationSamples > 0 && e.opts.KeepSamples
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, SweepStats{}, err
+		}
+		if e.opts.Reuse {
+			// Accept this sweep's own pending bases (phase C fills them
+			// before C2 reads); skip bases another — possibly cancelled —
+			// sweep never completed.
+			accept := func(b *core.Basis) bool {
+				if _, own := pending[b.ID]; own {
+					return true
+				}
+				return payloadReady(b)
+			}
+			if basis, mapping, ok := e.store.MatchWhere(fps[i], accept); ok {
+				_, ownPending := pending[basis.ID]
+				if validating && ownPending {
+					// Validation compares against the basis' retained
+					// samples; a basis registered earlier in this sweep
+					// may not be simulated yet — complete it now, which
+					// is exactly the state the sequential sweep would
+					// have reached before evaluating point i.
+					owner := pending[basis.ID]
+					e.completeSimulation(f, points, fps, plans, results, owner)
+					done[owner] = true
+					delete(pending, basis.ID)
+					ownPending = false
+				}
+				// A basis still pending in this sweep at this line has
+				// no retained samples to validate against (with
+				// validation active it was completed inline above), and
+				// the sequential sweep trusts such matches as-is.
+				valid := ownPending || e.validateMatch(f, points[i], basis, mapping)
+				if valid && e.basisUsable(basis, mapping, ownPending) {
+					plans[i] = pointPlan{basis: basis, mapping: mapping}
+					continue
+				}
+			}
+		}
+		plans[i].simulate = true
+		if e.opts.Reuse {
+			payload := &BasisPayload{}
+			payload.markPending()
+			if basis, err := e.store.Add(fps[i], points[i].Key(), payload); err == nil {
+				plans[i].basis = basis
+				plans[i].payload = payload
+				pending[basis.ID] = i
+			}
+		}
+	}
+
+	// Phase C1: full simulations for the miss points, in parallel.
+	// Simulated payloads must be complete before any reuse point maps
+	// from them, hence the barrier before C2.
+	if err := pool.For(ctx, n, workers, func(i int) {
+		if plans[i].simulate && !done[i] {
+			e.completeSimulation(f, points, fps, plans, results, i)
+		}
+	}); err != nil {
+		return nil, SweepStats{}, err
+	}
+
+	// Phase C2: mapped results for the reuse points.
+	if err := pool.For(ctx, n, workers, func(i int) {
+		if plans[i].simulate {
+			return
+		}
+		// trusted=true: every basis reused by this sweep was either
+		// ready at phase B or completed by this sweep before the C1→C2
+		// barrier.
+		if res, ok := e.mapBasis(plans[i].basis, plans[i].mapping, points[i], true); ok {
+			results[i] = res
+			e.reused.Add(1)
+			return
+		}
+		// Unreachable when basisUsable agreed to the reuse; simulate
+		// defensively rather than return a zero result.
+		res, _ := e.fullSimulation(f, points[i], fps[i], 1)
+		results[i] = res
+		e.fullSims.Add(1)
+	}); err != nil {
+		return nil, SweepStats{}, err
+	}
+
+	return results, e.Stats(n), nil
+}
+
+// completeSimulation runs point i's full simulation, stores its result
+// and fills its registered basis payload. Inner sample parallelism is
+// disabled: either the pool is already saturated with other points
+// (phase C1) or the call is a one-off on the sequential path (phase B
+// validation) where determinism, not latency, is the concern. The
+// counter is incremented here — when the work actually runs — so a
+// cancelled sweep does not inflate the engine's lifetime stats with
+// simulations that never happened.
+func (e *Engine) completeSimulation(f PointEval, points []param.Point, fps []core.Fingerprint, plans []pointPlan, results []PointResult, i int) {
+	e.fullSims.Add(1)
+	res, samples := e.fullSimulation(f, points[i], fps[i], 1)
+	if plans[i].basis != nil {
+		plans[i].payload.Summary = res.Summary
+		if e.opts.KeepSamples {
+			plans[i].payload.Samples = samples
+		}
+		plans[i].payload.complete()
+		res.BasisID = plans[i].basis.ID
+	}
+	results[i] = res
+}
+
+// basisUsable reports whether mapBasis will be able to derive a result
+// from the basis once its payload is complete — the phase-B mirror of
+// mapBasis' runtime checks: affine mappings push through the summary,
+// anything else needs retained samples. ownPending marks a basis this
+// sweep registered itself: its payload is legitimately incomplete
+// (phase C1 fills it before C2 reads) and its fields must not be read
+// yet. A basis pending in a *different* concurrent sweep is simply
+// not usable.
+func (e *Engine) basisUsable(basis *core.Basis, mapping core.Mapping, ownPending bool) bool {
+	payload, _ := basis.Payload.(*BasisPayload)
+	if payload == nil {
+		return false
+	}
+	_, affine := mapping.(core.Affine)
+	if ownPending {
+		// This sweep owns the simulation; samples will exist iff the
+		// engine keeps them.
+		return affine || e.opts.KeepSamples
+	}
+	if !payload.Ready() {
+		return false
+	}
+	if affine {
+		return true
+	}
+	return len(payload.Samples) > 0
+}

@@ -1,0 +1,195 @@
+package mc
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/param"
+)
+
+// sweepSpace is a two-parameter space large enough that the parallel
+// sweep exercises every phase (hits, misses, pending bases).
+func sweepSpace(t *testing.T) *param.Space {
+	t.Helper()
+	wk, err := param.Range("current_week", 0, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := param.Range("feature_release", 0, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return param.MustSpace(wk, fr)
+}
+
+func sweepOptions(workers int) Options {
+	return Options{
+		Samples:        400,
+		FingerprintLen: 10,
+		MasterSeed:     0x5161,
+		Reuse:          true,
+		Workers:        workers,
+	}
+}
+
+// TestSweepParallelDeterminism is the core guarantee of the concurrent
+// sweep subsystem: for every index strategy, with reuse on and off,
+// a parallel sweep returns bit-identical PointResults and SweepStats
+// to the sequential sweep.
+func TestSweepParallelDeterminism(t *testing.T) {
+	parallel := runtime.NumCPU()
+	if parallel < 2 {
+		parallel = 4
+	}
+	space := sweepSpace(t)
+	ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"reuse/array", func(o *Options) { o.Index = IndexArray }},
+		{"reuse/norm", func(o *Options) { o.Index = IndexNormalization }},
+		{"reuse/sid", func(o *Options) { o.Index = IndexSortedSID }},
+		{"noreuse", func(o *Options) { o.Reuse = false }},
+		{"keepsamples", func(o *Options) { o.KeepSamples = true; o.HistBins = 8 }},
+		{"validation", func(o *Options) { o.KeepSamples = true; o.ValidationSamples = 16 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seqOpts := sweepOptions(1)
+			tc.mutate(&seqOpts)
+			parOpts := sweepOptions(parallel)
+			tc.mutate(&parOpts)
+
+			seqEng := MustNew(seqOpts)
+			seqRes, seqStats, err := seqEng.Sweep(ev, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parEng := MustNew(parOpts)
+			parRes, parStats, err := parEng.Sweep(ev, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(seqRes) != len(parRes) {
+				t.Fatalf("result count: sequential %d, parallel %d", len(seqRes), len(parRes))
+			}
+			for i := range seqRes {
+				if !reflect.DeepEqual(seqRes[i], parRes[i]) {
+					t.Fatalf("point %d diverged:\nsequential: %+v\nparallel:   %+v", i, seqRes[i], parRes[i])
+				}
+			}
+			if !reflect.DeepEqual(seqStats, parStats) {
+				t.Fatalf("stats diverged:\nsequential: %+v\nparallel:   %+v", seqStats, parStats)
+			}
+			if seqOpts.Reuse && parStats.Reused == 0 {
+				t.Fatal("sweep with reuse enabled reused nothing; test space too small to be meaningful")
+			}
+		})
+	}
+}
+
+// TestSweepBatchMatchesSweep checks the explicit-batch API walks the
+// same path as a space sweep.
+func TestSweepBatchMatchesSweep(t *testing.T) {
+	space := sweepSpace(t)
+	ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+
+	spaceEng := MustNew(sweepOptions(4))
+	fromSpace, spaceStats, err := spaceEng.Sweep(ev, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchEng := MustNew(sweepOptions(4))
+	fromBatch, batchStats, err := batchEng.SweepBatch(ev, space.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromSpace, fromBatch) {
+		t.Fatal("SweepBatch over space.Points() differs from Sweep over the space")
+	}
+	if !reflect.DeepEqual(spaceStats, batchStats) {
+		t.Fatalf("stats diverged: %+v vs %+v", spaceStats, batchStats)
+	}
+}
+
+// TestSweepSharedEngineRace drives concurrent SweepBatch calls into
+// one shared engine; under -race this exercises the engine's atomic
+// counters and the store's sharded locking on the real hot path.
+func TestSweepSharedEngineRace(t *testing.T) {
+	space := sweepSpace(t)
+	points := space.Points()
+	ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+	eng := MustNew(sweepOptions(2))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := eng.SweepBatch(ev, points); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := eng.Stats(0)
+	if st.FullSimulations+st.Reused != 4*len(points) {
+		t.Fatalf("full (%d) + reused (%d) != total evaluations (%d)",
+			st.FullSimulations, st.Reused, 4*len(points))
+	}
+}
+
+// TestAbandonedPendingBasisDoesNotShadow reproduces the state a
+// cancelled parallel sweep leaves behind — a registered basis whose
+// payload was never completed — and checks it neither gets reused nor
+// permanently shadows its fingerprint family: the next miss registers
+// a usable duplicate and later points reuse that.
+func TestAbandonedPendingBasisDoesNotShadow(t *testing.T) {
+	eng := MustNew(sweepOptions(1))
+	ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+	p := param.Point{"current_week": 5, "feature_release": 20}
+
+	abandoned := &BasisPayload{}
+	abandoned.markPending() // what a sweep cancelled between phases B and C leaves
+	if _, err := eng.Store().Add(eng.Fingerprint(ev, p), "abandoned", abandoned); err != nil {
+		t.Fatal(err)
+	}
+
+	res1 := eng.EvaluatePoint(ev, p)
+	if res1.Reused {
+		t.Fatal("reused a basis whose payload was never filled")
+	}
+	res2 := eng.EvaluatePoint(ev, param.Point{"current_week": 9, "feature_release": 20})
+	if !res2.Reused {
+		t.Fatal("abandoned basis shadowed its fingerprint family: mappable point did not reuse")
+	}
+	if res2.BasisID == 0 {
+		t.Fatalf("reused the abandoned basis %d", res2.BasisID)
+	}
+}
+
+// TestSweepContextCancel checks a cancelled context aborts both the
+// sequential and the parallel paths.
+func TestSweepContextCancel(t *testing.T) {
+	space := sweepSpace(t)
+	ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		eng := MustNew(sweepOptions(workers))
+		if _, _, err := eng.SweepContext(ctx, ev, space); err != context.Canceled {
+			t.Fatalf("workers=%d: got error %v, want context.Canceled", workers, err)
+		}
+	}
+}

@@ -117,25 +117,38 @@ func Run(s *exec.Scenario, stmt *sqlparse.OptimizeStmt, opts mc.Options) (*Resul
 	}
 	var feasible []feasibleGroup
 
+	var sweepErr error
 	groupSpace.Each(func(g param.Point) bool {
+		// Compose the group's batch once; every constraint column
+		// sweeps the same points through its engine's worker pool
+		// (Options.Workers), so optimization rides the same concurrent
+		// sweep as Engine.Sweep.
+		batch := make([]param.Point, 0, sweepSpace.Size())
+		sweepSpace.Each(func(sp param.Point) bool {
+			full := g.Clone()
+			for k, v := range sp {
+				full[k] = v
+			}
+			batch = append(batch, full)
+			return true
+		})
 		values := make([]float64, len(stmt.Constraints))
 		ok := true
 		for ci, c := range stmt.Constraints {
 			agg := newOuterAgg(c.Outer)
-			sweepSpace.Each(func(sp param.Point) bool {
-				full := g.Clone()
-				for k, v := range sp {
-					full[k] = v
-				}
-				pr := engines[c.Column].EvaluatePoint(evals[c.Column], full)
-				res.PointsEvaluated++
+			prs, _, err := engines[c.Column].SweepBatch(evals[c.Column], batch)
+			if err != nil {
+				sweepErr = err
+				return false
+			}
+			res.PointsEvaluated += len(prs)
+			for _, pr := range prs {
 				metric := pr.Summary.Mean
 				if c.Metric == sqlparse.MetricStdDev {
 					metric = pr.Summary.StdDev
 				}
 				agg.add(metric)
-				return true
-			})
+			}
 			values[ci] = agg.result()
 			if !satisfies(values[ci], c.Op, c.Bound) {
 				ok = false
@@ -149,6 +162,9 @@ func Run(s *exec.Scenario, stmt *sqlparse.OptimizeStmt, opts mc.Options) (*Resul
 		}
 		return true
 	})
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
 
 	res.Feasible = len(feasible)
 	for _, eng := range engines {

@@ -1,0 +1,49 @@
+// Package pool provides the worker-pool primitive shared by the
+// concurrent sweep engine (internal/mc) and the interactive session's
+// batch draws (internal/interactive): a bounded fan-out over an index
+// range with atomic work-stealing, so expensive items load-balance
+// instead of pinning a fixed stripe to a slow worker.
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines.
+// With workers <= 1 (or n <= 1) it degrades to a plain loop on the
+// calling goroutine. It stops scheduling new indexes once ctx is
+// cancelled and returns ctx.Err(); indexes already picked up still
+// finish, so fn never races with the caller after For returns.
+func For(ctx context.Context, n, workers int, fn func(i int)) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

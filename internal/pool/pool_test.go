@@ -1,0 +1,43 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		if err := For(context.Background(), n, workers, func(i int) {
+			hits[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	if err := For(context.Background(), 0, 4, func(int) { t.Fatal("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := For(ctx, 1000, 4, func(int) { ran.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() == 1000 {
+		t.Fatal("cancellation scheduled every index")
+	}
+}

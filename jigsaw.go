@@ -33,6 +33,20 @@
 //	space, _ := jigsaw.NewSpace(week)
 //	results, stats, _ := eng.Sweep(eval, space)
 //
+// # Concurrency
+//
+// Sweeps parallelize across parameter points: set
+// EngineOptions.Workers (0 = all cores) and Engine.Sweep,
+// Engine.SweepBatch and their context-aware variants
+// Engine.SweepContext / Engine.SweepBatchContext spread the points
+// over a worker pool while returning results bit-identical to a
+// sequential sweep. The basis store takes sharded locks keyed on
+// fingerprint signatures, so engines may also be shared between
+// goroutines calling EvaluatePoint. Interactive sessions draw their
+// per-tick sample batches on a pool sized by SessionOptions.Workers.
+// DESIGN.md ("Concurrency model") describes the shard layout and the
+// determinism argument.
+//
 // See examples/ for complete programs, DESIGN.md for the architecture,
 // and EXPERIMENTS.md for the reproduced evaluation.
 package jigsaw
@@ -198,7 +212,10 @@ func NewAccumulator(keepSamples bool) *Accumulator { return stats.NewAccumulator
 
 type (
 	// Engine is the Monte Carlo engine with fingerprint reuse (the
-	// dashed box of Fig. 3).
+	// dashed box of Fig. 3). Its Sweep, SweepContext, SweepBatch and
+	// SweepBatchContext methods evaluate parameter points on a worker
+	// pool sized by EngineOptions.Workers, deterministically: results
+	// are bit-identical for every worker count.
 	Engine = mc.Engine
 	// EngineOptions configures an Engine.
 	EngineOptions = mc.Options

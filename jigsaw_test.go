@@ -2,6 +2,8 @@ package jigsaw_test
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"jigsaw"
@@ -43,6 +45,45 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	if math.Abs(results[51].Summary.Mean-52) > 1 {
 		t.Fatalf("week 52 mean = %g", results[51].Summary.Mean)
+	}
+}
+
+// TestPublicAPIConcurrentSweep is the facade-level determinism
+// contract: a sweep over all cores returns bit-identical results and
+// statistics to the sequential sweep.
+func TestPublicAPIConcurrentSweep(t *testing.T) {
+	eval, err := jigsaw.BindBox(jigsaw.NewDemandModel(), "week", "release")
+	if err != nil {
+		t.Fatal(err)
+	}
+	week, _ := jigsaw.RangeParam("week", 1, 40, 1)
+	release, _ := jigsaw.SetParam("release", 10, 99)
+	space, err := jigsaw.NewSpace(week, release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) ([]jigsaw.PointResult, jigsaw.SweepStats) {
+		eng, err := jigsaw.NewEngine(jigsaw.EngineOptions{Samples: 300, Reuse: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, st, err := eng.Sweep(eval, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, st
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4 // force the parallel path even on small machines
+	}
+	seqRes, seqStats := run(1)
+	parRes, parStats := run(workers)
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatal("parallel sweep results differ from sequential")
+	}
+	if !reflect.DeepEqual(seqStats, parStats) {
+		t.Fatalf("parallel sweep stats differ: %+v vs %+v", seqStats, parStats)
 	}
 }
 
