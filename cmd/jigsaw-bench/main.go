@@ -7,6 +7,12 @@
 //	jigsaw-bench [-experiment all|fig7|fig8|fig9|fig10|fig11|fig12]
 //	             [-scale quick|paper] [-samples N] [-trials N]
 //	             [-workers N]
+//	jigsaw-bench -json BENCH_sweep.json [-scale quick|paper]
+//
+// The -json mode runs the sweep hot-path micro-benchmark
+// (index × reuse × workers) instead of the paper figures and writes
+// the machine-readable perf point EXPERIMENTS.md's "Perf methodology"
+// section describes.
 package main
 
 import (
@@ -21,11 +27,12 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("experiment", "all", "fig7, fig8, fig9, fig10, fig11, fig12 or all")
-		scale   = flag.String("scale", "paper", "quick or paper")
-		samples = flag.Int("samples", 0, "override samples per point")
-		trials  = flag.Int("trials", 0, "override timing trials")
-		workers = flag.Int("workers", 1, "sweep worker pool size (1 = paper's sequential timings, 0 = all cores)")
+		which    = flag.String("experiment", "all", "fig7, fig8, fig9, fig10, fig11, fig12 or all")
+		scale    = flag.String("scale", "paper", "quick or paper")
+		samples  = flag.Int("samples", 0, "override samples per point")
+		trials   = flag.Int("trials", 0, "override timing trials")
+		workers  = flag.Int("workers", 1, "sweep worker pool size (1 = paper's sequential timings, 0 = all cores)")
+		jsonPath = flag.String("json", "", "run the sweep hot-path benchmark and write BENCH_sweep.json-style output here")
 	)
 	flag.Parse()
 
@@ -52,6 +59,32 @@ func main() {
 		cfg.Workers = runtime.NumCPU()
 	} else {
 		cfg.Workers = *workers
+	}
+
+	if *jsonPath != "" {
+		start := time.Now()
+		report, err := experiments.SweepBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jigsaw-bench: sweepbench: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(out); err == nil {
+			err = out.Close()
+		} else {
+			out.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+			os.Exit(1)
+		}
+		report.Table().Fprint(os.Stdout)
+		fmt.Printf("(sweepbench completed in %v; wrote %s)\n", time.Since(start).Round(time.Millisecond), *jsonPath)
+		return
 	}
 
 	type experiment struct {

@@ -107,6 +107,13 @@ func (fp Fingerprint) String() string {
 	return fmt.Sprintf("fp%v", []float64(fp))
 }
 
+// ApproxEqual compares two scalars with the package's relative
+// tolerance semantics. It is the single source of truth for every
+// tolerance comparison in the system — mapping validation, index tie
+// grouping, the engine's match-validation draws and the interactive
+// session's sample checks all share it, so they can never drift apart.
+func ApproxEqual(a, b, tol float64) bool { return approxEqual(a, b, tol) }
+
 // approxEqual compares with relative tolerance: |a−b| ≤ tol·max(1,|a|,|b|).
 // The max(1,·) floor makes comparisons near zero behave absolutely,
 // which matters for indicator-style model outputs (0/1 overload flags).

@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // Index accelerates the search for candidate basis fingerprints (§3.2).
 // The contract mirrors the paper's: Candidates must return a superset
 // of the basis ids whose fingerprints the mapping class can map onto
@@ -8,8 +10,11 @@ package core
 type Index interface {
 	// Insert registers a basis fingerprint under id.
 	Insert(id int, fp Fingerprint)
-	// Candidates returns ids possibly similar to the probe.
-	Candidates(fp Fingerprint) []int
+	// Candidates appends the ids possibly similar to the probe to buf
+	// and returns the extended slice. Implementations must not retain
+	// buf; callers reuse it across probes, so a steady-state probe
+	// performs no allocation.
+	Candidates(fp Fingerprint, buf []int) []int
 	// Len returns the number of indexed fingerprints.
 	Len() int
 	// Name identifies the strategy in experiment output.
@@ -34,23 +39,36 @@ type Sharder interface {
 	Fork() Index
 	// InsertSignature returns the signature under which fp is filed.
 	InsertSignature(fp Fingerprint) uint64
-	// ProbeSignatures returns every signature under which a basis
-	// mappable onto fp may have been filed, in probe order.
-	ProbeSignatures(fp Fingerprint) []uint64
+	// ProbeSignatures appends every signature under which a basis
+	// mappable onto fp may have been filed to buf, in probe order, and
+	// returns the extended slice. Implementations must not retain buf.
+	ProbeSignatures(fp Fingerprint, buf []uint64) []uint64
 }
 
-// sigHash hashes an index key string to a shard signature (FNV-1a).
-func sigHash(key string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
+// The hash indexes key their buckets with 64-bit FNV-1a hashes built
+// directly from the quantized binary form of the fingerprint — no
+// string rendering, no allocation. The same hash doubles as the
+// Sharder signature. A hash collision merges two buckets, which only
+// adds false candidates for FindMapping to discard; it never loses a
+// true candidate, so the §3.2 no-false-negatives contract holds.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWord folds one 64-bit word into an FNV-1a hash, byte by byte.
+func fnvWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime64
+		w >>= 8
 	}
 	return h
+}
+
+// fnvFloat folds a float64's bit pattern into the hash.
+func fnvFloat(h uint64, x float64) uint64 {
+	return fnvWord(h, math.Float64bits(x))
 }
 
 // ArrayIndex is the naive strategy: scan every basis distribution. It
@@ -67,8 +85,8 @@ func NewArrayIndex() *ArrayIndex { return &ArrayIndex{} }
 func (a *ArrayIndex) Insert(id int, _ Fingerprint) { a.ids = append(a.ids, id) }
 
 // Candidates implements Index: every basis is a candidate.
-func (a *ArrayIndex) Candidates(_ Fingerprint) []int {
-	return append([]int(nil), a.ids...)
+func (a *ArrayIndex) Candidates(_ Fingerprint, buf []int) []int {
+	return append(buf, a.ids...)
 }
 
 // Len implements Index.

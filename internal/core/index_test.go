@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -37,7 +38,7 @@ func TestIndexNoFalseNegativesUnderLinearMaps(t *testing.T) {
 		idx.Insert(0, base)
 		for _, m := range maps {
 			probe := base.MappedBy(m)
-			if !containsID(idx.Candidates(probe), 0) {
+			if !containsID(idx.Candidates(probe, nil), 0) {
 				t.Errorf("%s: mapped probe %v missed basis", name, m)
 			}
 		}
@@ -54,7 +55,7 @@ func TestIndexSelectivity(t *testing.T) {
 	b := Fingerprint{1, 4, 9, 16, 25, 36, 49, 64, 81, 100} // not linear in a
 	norm := NewNormalizationIndex(6, DefaultTolerance)
 	norm.Insert(0, a)
-	if containsID(norm.Candidates(b), 0) {
+	if containsID(norm.Candidates(b, nil), 0) {
 		t.Error("normalization index returned unrelated candidate")
 	}
 	// b is monotone in a, so SID keys collide — that is the documented
@@ -62,7 +63,7 @@ func TestIndexSelectivity(t *testing.T) {
 	sid := NewSortedSIDIndex(DefaultTolerance, true)
 	shuffled := Fingerprint{3, 1, 4, 1.5, 9, 2.6, 5.3, 5.8, 9.7, 9.3}
 	sid.Insert(0, a)
-	if containsID(sid.Candidates(shuffled), 0) {
+	if containsID(sid.Candidates(shuffled, nil), 0) {
 		t.Error("SID index returned candidate with different ordering")
 	}
 }
@@ -72,15 +73,15 @@ func TestNormalizationConstantBucket(t *testing.T) {
 	idx.Insert(0, Fingerprint{5, 5, 5})
 	// Equal constants share a bucket (the only constants a sound
 	// mapping class can relate)…
-	if !containsID(idx.Candidates(Fingerprint{5, 5, 5}), 0) {
+	if !containsID(idx.Candidates(Fingerprint{5, 5, 5}, nil), 0) {
 		t.Fatal("equal constants should share a bucket")
 	}
 	// …distinct constants do not (keeps boolean-output models from
 	// piling into one bucket).
-	if containsID(idx.Candidates(Fingerprint{9, 9, 9}), 0) {
+	if containsID(idx.Candidates(Fingerprint{9, 9, 9}, nil), 0) {
 		t.Fatal("distinct constants share a bucket")
 	}
-	if containsID(idx.Candidates(Fingerprint{9, 9, 10}), 0) {
+	if containsID(idx.Candidates(Fingerprint{9, 9, 10}, nil), 0) {
 		t.Fatal("non-constant probe matched const bucket")
 	}
 }
@@ -106,17 +107,31 @@ func TestNormalizationDigitsDefault(t *testing.T) {
 }
 
 func TestQuantize(t *testing.T) {
-	if quantize(0, 6) != "0" {
-		t.Fatal("quantize(0) != 0")
+	pair := func(x float64) [2]int64 {
+		m, e := quantize(x, 6)
+		return [2]int64{m, int64(e)}
 	}
-	if quantize(1e-320, 6) != "0" {
+	if pair(0) != pair(math.Copysign(0, -1)) {
+		t.Fatal("negative zero not collapsed")
+	}
+	if pair(1e-320) != pair(0) {
 		t.Fatal("subnormal not collapsed to zero")
 	}
-	if quantize(1.5, 6) == quantize(1.6, 6) {
+	if pair(1.5) == pair(1.6) {
 		t.Fatal("distinct values share quantization")
 	}
-	if quantize(1.5, 6) != quantize(1.5+1e-12, 6) {
+	if pair(1.5) != pair(1.5+1e-12) {
 		t.Fatal("rounding noise changed quantization")
+	}
+	if pair(1.5) == pair(-1.5) {
+		t.Fatal("sign lost in quantization")
+	}
+	if pair(1.5) == pair(15) {
+		t.Fatal("magnitude lost in quantization")
+	}
+	// Rounding at the decade boundary renormalizes to a canonical pair.
+	if pair(0.99999995) != pair(1.0) {
+		t.Fatalf("boundary rounding not canonical: %v vs %v", pair(0.99999995), pair(1.0))
 	}
 }
 
@@ -126,12 +141,12 @@ func TestSortedSIDDecreasingMapping(t *testing.T) {
 
 	bidi := NewSortedSIDIndex(DefaultTolerance, true)
 	bidi.Insert(0, base)
-	if !containsID(bidi.Candidates(probe), 0) {
+	if !containsID(bidi.Candidates(probe, nil), 0) {
 		t.Fatal("bidirectional SID index missed decreasing mapping")
 	}
 	uni := NewSortedSIDIndex(DefaultTolerance, false)
 	uni.Insert(0, base)
-	if containsID(uni.Candidates(probe), 0) {
+	if containsID(uni.Candidates(probe, nil), 0) {
 		t.Fatal("unidirectional SID index matched decreasing mapping")
 	}
 }
@@ -141,7 +156,7 @@ func TestSortedSIDTieGrouping(t *testing.T) {
 	// incidental order a sort would give them.
 	idx := NewSortedSIDIndex(1e-6, false)
 	idx.Insert(0, Fingerprint{1, 1 + 1e-9, 2})
-	if !containsID(idx.Candidates(Fingerprint{1 + 1e-9, 1, 2}), 0) {
+	if !containsID(idx.Candidates(Fingerprint{1 + 1e-9, 1, 2}, nil), 0) {
 		t.Fatal("tie permutation changed SID key")
 	}
 }
@@ -151,7 +166,7 @@ func TestArrayIndexReturnsAll(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		idx.Insert(i, Fingerprint{float64(i)})
 	}
-	got := idx.Candidates(Fingerprint{42})
+	got := idx.Candidates(Fingerprint{42}, nil)
 	if len(got) != 5 {
 		t.Fatalf("array candidates = %v", got)
 	}
@@ -185,12 +200,12 @@ func TestQuickIndexCompleteness(t *testing.T) {
 
 		norm := NewNormalizationIndex(6, DefaultTolerance)
 		norm.Insert(7, fp)
-		if !containsID(norm.Candidates(probe), 7) {
+		if !containsID(norm.Candidates(probe, nil), 7) {
 			return false
 		}
 		sid := NewSortedSIDIndex(DefaultTolerance, true)
 		sid.Insert(7, fp)
-		return containsID(sid.Candidates(probe), 7)
+		return containsID(sid.Candidates(probe, nil), 7)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

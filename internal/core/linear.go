@@ -71,7 +71,9 @@ func (c LinearClass) Find(from, to Fingerprint, tol float64) (Mapping, bool) {
 		return nil, false
 	}
 	beta := to[i] - alpha*from[i]
-	m := Linear{Alpha: alpha, Beta: beta}
+	// Box the mapping once: the same interface value serves validation
+	// and the return, so a match costs a single allocation.
+	var m Mapping = Linear{Alpha: alpha, Beta: beta}
 	if !Validate(m, from, to, tol) {
 		return nil, false
 	}
@@ -100,7 +102,7 @@ func (ShiftClass) Find(from, to Fingerprint, tol float64) (Mapping, bool) {
 	if len(from) != len(to) || len(from) == 0 {
 		return nil, false
 	}
-	m := Shift(to[0] - from[0])
+	var m Mapping = Shift(to[0] - from[0])
 	if !Validate(m, from, to, tol) {
 		return nil, false
 	}

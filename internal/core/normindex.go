@@ -1,10 +1,6 @@
 package core
 
-import (
-	"math"
-	"strconv"
-	"strings"
-)
+import "math"
 
 // NormalizationIndex implements the first indexing strategy of §3.2:
 // translate each fingerprint to a normal form such that two linearly
@@ -20,14 +16,15 @@ import (
 // so all entries of the normal forms coincide — for increasing and
 // decreasing α alike.
 //
-// Hash keys are built from the normal form quantized to a fixed number
-// of significant digits. Quantization tolerates the floating-point
-// rounding inherent in "exact" affine reuse; a value landing on a
-// quantization boundary can still produce a missed lookup, which costs
-// a redundant simulation but never a wrong answer (the store only
-// returns validated mappings).
+// Bucket keys are 64-bit FNV-1a hashes over the normal form quantized
+// to a fixed number of significant decimal digits — a binary encoding,
+// computed without allocating. Quantization tolerates the
+// floating-point rounding inherent in "exact" affine reuse; a value
+// landing on a quantization boundary can still produce a missed
+// lookup, which costs a redundant simulation but never a wrong answer
+// (the store only returns validated mappings).
 type NormalizationIndex struct {
-	buckets map[string][]int
+	buckets map[uint64][]int
 	n       int
 	digits  int
 	tol     float64
@@ -42,7 +39,7 @@ func NewNormalizationIndex(digits int, tol float64) *NormalizationIndex {
 		digits = 6
 	}
 	return &NormalizationIndex{
-		buckets: make(map[string][]int),
+		buckets: make(map[uint64][]int),
 		digits:  digits,
 		tol:     tol,
 	}
@@ -56,9 +53,8 @@ func (n *NormalizationIndex) Insert(id int, fp Fingerprint) {
 }
 
 // Candidates implements Index.
-func (n *NormalizationIndex) Candidates(fp Fingerprint) []int {
-	ids := n.buckets[n.key(fp)]
-	return append([]int(nil), ids...)
+func (n *NormalizationIndex) Candidates(fp Fingerprint, buf []int) []int {
+	return append(buf, n.buckets[n.key(fp)]...)
 }
 
 // Len implements Index.
@@ -71,51 +67,76 @@ func (n *NormalizationIndex) Name() string { return "Normalization" }
 func (n *NormalizationIndex) Fork() Index { return NewNormalizationIndex(n.digits, n.tol) }
 
 // InsertSignature implements Sharder: linearly mappable fingerprints
-// share a normal form and therefore a signature.
-func (n *NormalizationIndex) InsertSignature(fp Fingerprint) uint64 { return sigHash(n.key(fp)) }
+// share a normal form and therefore a signature — the bucket key is
+// the signature.
+func (n *NormalizationIndex) InsertSignature(fp Fingerprint) uint64 { return n.key(fp) }
 
 // ProbeSignatures implements Sharder.
-func (n *NormalizationIndex) ProbeSignatures(fp Fingerprint) []uint64 {
-	return []uint64{sigHash(n.key(fp))}
+func (n *NormalizationIndex) ProbeSignatures(fp Fingerprint, buf []uint64) []uint64 {
+	return append(buf, n.key(fp))
 }
+
+// Key tags distinguishing the two fingerprint shapes, folded into the
+// hash first so a constant fingerprint can never collide with a
+// normal-form one by value alone.
+const (
+	normKeyConst  = 0xC0
+	normKeyVector = 0x4E
+)
 
 // key computes the hash key of fp's normal form. Constant fingerprints
 // are keyed by their value: identical constants (the only constants a
 // sound mapping class can relate) share a bucket, while distinct
 // constants — e.g. the all-zeros and all-ones seas of a boolean model —
 // stay apart instead of piling into one bucket.
-func (n *NormalizationIndex) key(fp Fingerprint) string {
+func (n *NormalizationIndex) key(fp Fingerprint) uint64 {
 	i, j, ok := fp.FirstTwoDistinct(n.tol)
 	if !ok {
 		v := 0.0
 		if len(fp) > 0 {
 			v = fp[0]
 		}
-		return "const:" + quantize(v, n.digits)
+		return hashQuantized(fnvWord(fnvOffset64, normKeyConst), v, n.digits)
 	}
 	base := fp[i]
 	span := fp[j] - fp[i]
-	var b strings.Builder
-	b.Grow(16 * len(fp))
-	for k, v := range fp {
-		if k > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(quantize((v-base)/span, n.digits))
+	h := fnvWord(fnvOffset64, normKeyVector)
+	for _, v := range fp {
+		h = hashQuantized(h, (v-base)/span, n.digits)
 	}
-	return b.String()
+	return h
 }
 
-// quantize renders x with the given number of significant digits,
-// collapsing negative zero and (sub)normal dust so values that are zero
-// for all practical purposes share a key.
-func quantize(x float64, digits int) string {
+// hashQuantized folds x quantized to the given number of significant
+// decimal digits into the hash, as a (mantissa, exponent) pair of
+// words. Negative zero and (sub)normal dust collapse to zero so values
+// that are zero for all practical purposes share a key — the binary
+// equivalent of rendering with strconv.FormatFloat(x, 'e', digits-1)
+// and hashing the string, at no allocation.
+func hashQuantized(h uint64, x float64, digits int) uint64 {
+	mant, exp := quantize(x, digits)
+	return fnvWord(fnvWord(h, uint64(mant)), uint64(int64(exp)))
+}
+
+// quantize reduces x to an integer decimal mantissa of `digits`
+// significant digits and a base-10 exponent. Values within half an ulp
+// of the decimal grid land on the same pair, so near-equal normal-form
+// entries share hash keys. Non-finite values are mapped to sentinel
+// pairs (their raw bits) — deterministic, if meaningless, keys.
+func quantize(x float64, digits int) (mant int64, exp int) {
 	if math.Abs(x) < 1e-300 {
-		return "0"
+		return 0, 0
 	}
-	s := strconv.FormatFloat(x, 'e', digits-1, 64)
-	if s == "-0.00000e+00" {
-		return "0"
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return int64(math.Float64bits(x)), math.MaxInt32
 	}
-	return s
+	exp = int(math.Floor(math.Log10(math.Abs(x))))
+	m := math.Round(x * math.Pow(10, float64(digits-1-exp)))
+	// Rounding can push the mantissa to 10^digits (e.g. 0.9999995 at 6
+	// digits); renormalize so every value has a canonical pair.
+	if limit := math.Pow(10, float64(digits)); m >= limit || m <= -limit {
+		m /= 10
+		exp++
+	}
+	return int64(m), exp
 }

@@ -1,11 +1,5 @@
 package core
 
-import (
-	"sort"
-	"strconv"
-	"strings"
-)
-
 // SortedSIDIndex implements the second indexing strategy of §3.2,
 // usable when the mapping class admits no normal form but is monotone:
 // assign each fingerprint entry its sample identifier (its position),
@@ -16,13 +10,16 @@ import (
 // sequence, per the paper's "comparing both the SID sequence and its
 // inverse".
 //
+// Keys are 64-bit FNV-1a hashes over the tie-grouped SID sequence —
+// computed into a stack buffer, so probes allocate nothing.
+//
 // Ties are the failure mode of SID indexing: equal values sort into an
 // arbitrary SID order that a mapping need not preserve. Entries are
 // therefore grouped: values equal within the tolerance share a tie
-// group, and groups are rendered as sorted SID clusters so any
+// group, and groups are hashed as sorted SID clusters so any
 // tie-permutation yields the same key.
 type SortedSIDIndex struct {
-	buckets map[string][]int
+	buckets map[uint64][]int
 	n       int
 	tol     float64
 	// bidirectional controls whether Candidates also probes the
@@ -35,7 +32,7 @@ type SortedSIDIndex struct {
 // mapping classes containing decreasing mappings.
 func NewSortedSIDIndex(tol float64, bidirectional bool) *SortedSIDIndex {
 	return &SortedSIDIndex{
-		buckets:       make(map[string][]int),
+		buckets:       make(map[uint64][]int),
 		tol:           tol,
 		bidirectional: bidirectional,
 	}
@@ -48,14 +45,19 @@ func (s *SortedSIDIndex) Insert(id int, fp Fingerprint) {
 	s.n++
 }
 
-// Candidates implements Index.
-func (s *SortedSIDIndex) Candidates(fp Fingerprint) []int {
-	out := append([]int(nil), s.buckets[s.key(fp, false)]...)
+// Candidates implements Index. A fingerprint whose forward and
+// reversed keys coincide (a palindromic tie structure, e.g. a constant
+// fingerprint) names the same bucket twice; the second probe is
+// skipped so the store never validates the same basis twice.
+func (s *SortedSIDIndex) Candidates(fp Fingerprint, buf []int) []int {
+	fwd := s.key(fp, false)
+	buf = append(buf, s.buckets[fwd]...)
 	if s.bidirectional {
-		rev := s.buckets[s.key(fp, true)]
-		out = append(out, rev...)
+		if rev := s.key(fp, true); rev != fwd {
+			buf = append(buf, s.buckets[rev]...)
+		}
 	}
-	return out
+	return buf
 }
 
 // Len implements Index.
@@ -70,58 +72,80 @@ func (s *SortedSIDIndex) Fork() Index { return NewSortedSIDIndex(s.tol, s.bidire
 // InsertSignature implements Sharder: insertion files under the
 // forward SID key, so the forward signature routes it.
 func (s *SortedSIDIndex) InsertSignature(fp Fingerprint) uint64 {
-	return sigHash(s.key(fp, false))
+	return s.key(fp, false)
 }
 
 // ProbeSignatures implements Sharder: an increasing mapping preserves
 // the forward key; a decreasing one lands on the reversed key, so
 // bidirectional probes cover both shards (in forward-then-reversed
-// order, matching Candidates).
-func (s *SortedSIDIndex) ProbeSignatures(fp Fingerprint) []uint64 {
-	sigs := []uint64{sigHash(s.key(fp, false))}
+// order, matching Candidates, and deduplicated the same way).
+func (s *SortedSIDIndex) ProbeSignatures(fp Fingerprint, buf []uint64) []uint64 {
+	fwd := s.key(fp, false)
+	buf = append(buf, fwd)
 	if s.bidirectional {
-		sigs = append(sigs, sigHash(s.key(fp, true)))
+		if rev := s.key(fp, true); rev != fwd {
+			buf = append(buf, rev)
+		}
 	}
-	return sigs
+	return buf
 }
 
-// key renders the tie-grouped SID sequence of fp; reversed flips the
+// sidStackLen is the fingerprint length up to which key computation
+// runs entirely on the stack. Fingerprints are short (the paper uses
+// m = 10); longer ones fall back to a heap scratch.
+const sidStackLen = 64
+
+// sidGroupSep is the word folded into the hash between tie groups. It
+// is not a representable SID, so a separator can never be mistaken for
+// a group member (e.g. [a][59,b] vs [a,59][b]).
+const sidGroupSep = ^uint64(0)
+
+// key hashes the tie-grouped SID sequence of fp; reversed flips the
 // sort direction, producing the key a decreasing mapping would have
 // produced.
-func (s *SortedSIDIndex) key(fp Fingerprint, reversed bool) string {
-	sids := make([]int, len(fp))
+func (s *SortedSIDIndex) key(fp Fingerprint, reversed bool) uint64 {
+	var stack [sidStackLen]int
+	var sids []int
+	if len(fp) <= sidStackLen {
+		sids = stack[:len(fp)]
+	} else {
+		sids = make([]int, len(fp))
+	}
 	for i := range sids {
 		sids[i] = i
 	}
-	sort.SliceStable(sids, func(a, b int) bool {
-		if reversed {
-			return fp[sids[a]] > fp[sids[b]]
-		}
-		return fp[sids[a]] < fp[sids[b]]
-	})
-
-	var b strings.Builder
-	b.Grow(4 * len(fp))
-	group := make([]int, 0, len(fp))
-	flush := func() {
-		sort.Ints(group)
-		for i, sid := range group {
-			if i > 0 {
-				b.WriteByte(',')
+	// Stable insertion sort by value: fingerprints are short, and the
+	// stability keeps equal values in SID order for the grouping pass.
+	for i := 1; i < len(sids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := fp[sids[j-1]], fp[sids[j]]
+			if (!reversed && b < a) || (reversed && b > a) {
+				sids[j-1], sids[j] = sids[j], sids[j-1]
+			} else {
+				break
 			}
-			b.WriteString(strconv.Itoa(sid))
 		}
-		b.WriteByte(';')
-		group = group[:0]
 	}
-	for i, sid := range sids {
-		if i > 0 && !approxEqual(fp[sid], fp[sids[i-1]], s.tol) {
-			flush()
+
+	h := uint64(fnvOffset64)
+	lo := 0
+	for i := 1; i <= len(sids); i++ {
+		if i < len(sids) && approxEqual(fp[sids[i]], fp[sids[i-1]], s.tol) {
+			continue
 		}
-		group = append(group, sid)
+		// Tie group [lo, i): hash its SIDs in ascending order so any
+		// tie-permutation yields the same key.
+		group := sids[lo:i]
+		for j := 1; j < len(group); j++ {
+			for k := j; k > 0 && group[k] < group[k-1]; k-- {
+				group[k-1], group[k] = group[k], group[k-1]
+			}
+		}
+		for _, sid := range group {
+			h = fnvWord(h, uint64(sid))
+		}
+		h = fnvWord(h, sidGroupSep)
+		lo = i
 	}
-	if len(group) > 0 {
-		flush()
-	}
-	return b.String()
+	return h
 }

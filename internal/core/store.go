@@ -185,6 +185,16 @@ func (s *Store) Add(fp Fingerprint, label string, payload any) (*Basis, error) {
 	return b, nil
 }
 
+// ProbeScratch carries a caller's reusable probe buffers: candidate
+// ids and shard signatures. A zero value is ready to use; after the
+// first probe the buffers are warm and subsequent probes through the
+// same scratch allocate nothing. A ProbeScratch must not be shared
+// between concurrent Match callers — keep one per worker.
+type ProbeScratch struct {
+	ids  []int
+	sigs []uint64
+}
+
 // Match searches for a basis distribution whose fingerprint the
 // mapping class maps onto fp (the candidate-pruning and FindMapping
 // loop of Algorithm 3). The returned mapping satisfies
@@ -193,7 +203,7 @@ func (s *Store) Add(fp Fingerprint, label string, payload any) (*Basis, error) {
 // ok=false means the caller must run the full simulation and Add the
 // result as a new basis.
 func (s *Store) Match(fp Fingerprint) (basis *Basis, mapping Mapping, ok bool) {
-	return s.MatchWhere(fp, nil)
+	return s.MatchWhereBuf(fp, nil, nil)
 }
 
 // MatchWhere is Match with a candidate filter: when accept is non-nil
@@ -204,6 +214,14 @@ func (s *Store) Match(fp Fingerprint) (basis *Basis, mapping Mapping, ok bool) {
 // abandoned registration costs one redundant simulation instead of
 // shadowing its fingerprint family forever.
 func (s *Store) MatchWhere(fp Fingerprint, accept func(*Basis) bool) (basis *Basis, mapping Mapping, ok bool) {
+	return s.MatchWhereBuf(fp, accept, nil)
+}
+
+// MatchWhereBuf is MatchWhere with caller-owned probe buffers: a
+// non-nil scratch makes the steady-state probe allocation-free. A nil
+// scratch falls back to local buffers (one allocation per probe with
+// candidates).
+func (s *Store) MatchWhereBuf(fp Fingerprint, accept func(*Basis) bool, scratch *ProbeScratch) (basis *Basis, mapping Mapping, ok bool) {
 	s.queries.Add(1)
 	s.mu.RLock()
 	fpLen := s.fpLen
@@ -218,21 +236,28 @@ func (s *Store) MatchWhere(fp Fingerprint, accept func(*Basis) bool) (basis *Bas
 	if !s.class.CanMatchConstants() && fp.IsConstant(s.tol) {
 		return nil, nil, false
 	}
+	if scratch == nil {
+		scratch = &ProbeScratch{}
+	}
 
 	// Collect candidate ids shard by shard, then resolve them against
 	// one snapshot of the basis list. Every id in an index was
 	// appended to bases before its Insert (program order in Add), and
 	// the shard lock's release/acquire pairing publishes that append,
 	// so every candidate id resolves in the snapshot.
-	var ids []int
+	ids := scratch.ids[:0]
 	if s.sharder == nil {
 		sh := &s.shards[0]
 		sh.mu.RLock()
-		ids = sh.index.Candidates(fp)
+		ids = sh.index.Candidates(fp, ids)
 		sh.mu.RUnlock()
 	} else {
-		sigs := s.sharder.ProbeSignatures(fp)
-		seen := make([]*storeShard, 0, len(sigs))
+		sigs := s.sharder.ProbeSignatures(fp, scratch.sigs[:0])
+		scratch.sigs = sigs
+		// Dedupe shard pointers on the stack: two signatures may route
+		// to the same shard, whose bucket must only be scanned once.
+		var seenArr [4]*storeShard
+		seen := seenArr[:0]
 		for _, sig := range sigs {
 			sh := s.shardFor(sig)
 			dup := false
@@ -247,10 +272,11 @@ func (s *Store) MatchWhere(fp Fingerprint, accept func(*Basis) bool) (basis *Bas
 			}
 			seen = append(seen, sh)
 			sh.mu.RLock()
-			ids = append(ids, sh.index.Candidates(fp)...)
+			ids = sh.index.Candidates(fp, ids)
 			sh.mu.RUnlock()
 		}
 	}
+	scratch.ids = ids
 	if len(ids) == 0 {
 		return nil, nil, false
 	}

@@ -184,7 +184,7 @@ func (s *Scenario) ColumnEval(name string) (mc.PointEval, error) {
 		return nil, fmt.Errorf("exec: no result column %q (have %v)", name, s.Columns)
 	}
 	nCols := len(s.evals)
-	return func(p param.Point, r *rng.Rand) float64 {
+	return mc.EvalFunc(func(p param.Point, r *rng.Rand) float64 {
 		slots := make([]float64, nCols)
 		if err := s.EvalRow(p, r, slots); err != nil {
 			// PointEval is infallible by contract; runtime evaluation
@@ -194,7 +194,7 @@ func (s *Scenario) ColumnEval(name string) (mc.PointEval, error) {
 			panic(err)
 		}
 		return slots[idx]
-	}, nil
+	}), nil
 }
 
 // compileExpr lowers a parsed expression to the direct interpreter

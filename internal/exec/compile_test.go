@@ -101,7 +101,7 @@ func TestColumnEval(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := param.Point{"current_week": 50, "purchase1": 0, "purchase2": 4, "feature_release": 12}
-	v := ev(p, rng.New(3))
+	v := ev.EvalPoint(p, rng.New(3))
 	if v != 0 && v != 1 {
 		t.Fatalf("overload = %g", v)
 	}
@@ -214,7 +214,7 @@ func TestUnboundParameterSurfacesError(t *testing.T) {
 			t.Fatal("unbound parameter did not panic through PointEval")
 		}
 	}()
-	ev(param.Point{}, rng.New(1))
+	ev.EvalPoint(param.Point{}, rng.New(1))
 }
 
 func TestScenarioSweepReuse(t *testing.T) {

@@ -1,0 +1,206 @@
+package experiments
+
+// The sweep micro-benchmark behind the repo's recorded perf
+// trajectory (BENCH_sweep.json). Where Figures 7–12 reproduce the
+// paper's comparisons, this harness tracks *our* hot path over time:
+// ns, allocations and bytes per parameter point across the
+// index × reuse × workers grid, so a future change that reintroduces
+// per-sample allocation or slows the probe is caught by diffing two
+// JSON files (see EXPERIMENTS.md, "Perf methodology").
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/mc"
+	"jigsaw/internal/param"
+)
+
+// SweepBenchResult is one grid cell: a full sweep of the Demand model
+// measured with testing.Benchmark and normalized per parameter point.
+type SweepBenchResult struct {
+	// Name is the canonical cell label, e.g.
+	// "sweep/index=Normalization/reuse=true/workers=1".
+	Name string `json:"name"`
+	// Index is the fingerprint index strategy.
+	Index string `json:"index"`
+	// Reuse reports whether fingerprint reuse was enabled.
+	Reuse bool `json:"reuse"`
+	// Workers is the sweep worker-pool size.
+	Workers int `json:"workers"`
+	// Points is the number of parameter points per sweep.
+	Points int `json:"points"`
+	// NsPerPoint is wall time per point.
+	NsPerPoint float64 `json:"ns_per_point"`
+	// AllocsPerPoint is heap allocations per point.
+	AllocsPerPoint float64 `json:"allocs_per_point"`
+	// BytesPerPoint is heap bytes per point.
+	BytesPerPoint float64 `json:"bytes_per_point"`
+	// ReuseRate is the fraction of points answered from a mapped
+	// basis (0 with reuse disabled).
+	ReuseRate float64 `json:"reuse_rate"`
+}
+
+// SweepBenchReport is the BENCH_sweep.json payload.
+type SweepBenchReport struct {
+	// GoVersion, GOOS, GOARCH and GOMAXPROCS describe the measuring
+	// machine; absolute numbers are only comparable within one.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Samples and FingerprintLen are the engine's n and m.
+	Samples        int `json:"samples"`
+	FingerprintLen int `json:"fingerprint_len"`
+	// Points is the sweep size every cell shares.
+	Points int `json:"points"`
+	// Results holds one entry per index × reuse × workers cell.
+	Results []SweepBenchResult `json:"results"`
+}
+
+// sweepBenchSpace is the benchmark workload: the paper's Demand model
+// over a (week × release) grid — the reuse-heavy shape Fig. 8 leads
+// with, so the reuse=true cells measure the mapped-point hot path and
+// the reuse=false cells the full-simulation path.
+func sweepBenchSpace(cfg Config) (*param.Space, error) {
+	wk, err := param.Range("current_week", 0, float64(cfg.Weeks), 1)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := param.Range("feature_release", 0, float64(cfg.Weeks), 1)
+	if err != nil {
+		return nil, err
+	}
+	return param.NewSpace(wk, fr)
+}
+
+// SweepBench measures the sweep hot path over the index × reuse ×
+// workers grid and returns the report for BENCH_sweep.json.
+func SweepBench(cfg Config) (*SweepBenchReport, error) {
+	cfg = cfg.withDefaults()
+	space, err := sweepBenchSpace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ev := mc.MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+
+	workerGrid := []int{1}
+	if cfg.Workers > 1 {
+		workerGrid = append(workerGrid, cfg.Workers)
+	} else if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerGrid = append(workerGrid, n)
+	}
+
+	type cell struct {
+		index mc.IndexKind
+		reuse bool
+	}
+	cells := []cell{
+		{mc.IndexArray, false},
+		{mc.IndexNormalization, true},
+		{mc.IndexSortedSID, true},
+	}
+
+	report := &SweepBenchReport{
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Samples:        cfg.Samples,
+		FingerprintLen: cfg.FingerprintLen,
+		Points:         space.Size(),
+	}
+
+	for _, c := range cells {
+		for _, workers := range workerGrid {
+			opts := mc.Options{
+				Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
+				MasterSeed: cfg.MasterSeed, Reuse: c.reuse, Index: c.index,
+				Workers: workers,
+			}
+			// One un-timed sweep reports the reuse rate; the engine is
+			// then rebuilt per iteration so every timed sweep starts
+			// from an empty store (what a fresh sweep costs, not a
+			// warmed one).
+			eng, err := mc.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			if _, _, err := eng.Sweep(ev, space); err != nil {
+				return nil, err
+			}
+			st := eng.Stats(space.Size())
+			reuseRate := 0.0
+			if st.Points > 0 {
+				reuseRate = float64(st.Reused) / float64(st.Points)
+			}
+
+			var sweepErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng, err := mc.New(opts)
+					if err != nil {
+						sweepErr = err
+						return
+					}
+					if _, _, err := eng.Sweep(ev, space); err != nil {
+						sweepErr = err
+						return
+					}
+				}
+			})
+			if sweepErr != nil {
+				return nil, sweepErr
+			}
+			points := float64(space.Size())
+			report.Results = append(report.Results, SweepBenchResult{
+				Name: fmt.Sprintf("sweep/index=%s/reuse=%t/workers=%d",
+					c.index, c.reuse, workers),
+				Index:          c.index.String(),
+				Reuse:          c.reuse,
+				Workers:        workers,
+				Points:         space.Size(),
+				NsPerPoint:     float64(res.NsPerOp()) / points,
+				AllocsPerPoint: float64(res.AllocsPerOp()) / points,
+				BytesPerPoint:  float64(res.AllocedBytesPerOp()) / points,
+				ReuseRate:      reuseRate,
+			})
+		}
+	}
+	return report, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *SweepBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the report in the experiment-table format.
+func (r *SweepBenchReport) Table() *Table {
+	t := &Table{
+		Title:   "Sweep hot path (BENCH_sweep)",
+		Columns: []string{"cell", "points", "ns/point", "allocs/point", "B/point", "reuse"},
+		Notes: []string{
+			fmt.Sprintf("%s %s/%s GOMAXPROCS=%d samples=%d m=%d",
+				r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS, r.Samples, r.FingerprintLen),
+		},
+	}
+	for _, c := range r.Results {
+		t.Rows = append(t.Rows, []string{
+			c.Name,
+			fmt.Sprintf("%d", c.Points),
+			fmt.Sprintf("%.0f", c.NsPerPoint),
+			fmt.Sprintf("%.1f", c.AllocsPerPoint),
+			fmt.Sprintf("%.0f", c.BytesPerPoint),
+			fmt.Sprintf("%.1f%%", 100*c.ReuseRate),
+		})
+	}
+	return t
+}

@@ -143,6 +143,10 @@ type Session struct {
 	focus    param.Point
 	taskTurn int
 	stats    Stats
+
+	// argBuf is the bound-argument scratch for PointBinder evaluators:
+	// sessions are single-goroutine, so one buffer serves every batch.
+	argBuf []float64
 }
 
 // NewSession builds a session for the given column evaluator.
@@ -199,9 +203,21 @@ func (s *Session) Focus() param.Point { return s.focus.Clone() }
 // state, which must stay worker-count independent.
 func (s *Session) drawBatch(p param.Point, ids []int) []float64 {
 	out := make([]float64, len(ids))
-	// pool.For with a background context never returns an error.
+	if pb, ok := s.eval.(mc.PointBinder); ok {
+		// Bind the point once for the whole batch; EvalBound treats
+		// the bound arguments as read-only, so workers share them.
+		args := pb.BindPoint(p, s.argBuf)
+		s.argBuf = args
+		// pool.ForWorker with a background context never errors.
+		_ = pool.ForWorker(context.Background(), len(ids), s.opts.Workers, func(_, k int) {
+			var r rng.Rand
+			r.Seed(s.seeds.SampleSeed(s.opts.MasterSeed, ids[k]))
+			out[k] = pb.EvalBound(args, &r)
+		})
+		return out
+	}
 	_ = pool.For(context.Background(), len(ids), s.opts.Workers, func(k int) {
-		out[k] = s.eval(p, rng.New(s.seeds.SampleSeed(s.opts.MasterSeed, ids[k])))
+		out[k] = s.eval.EvalPoint(p, rng.New(s.seeds.SampleSeed(s.opts.MasterSeed, ids[k])))
 	})
 	return out
 }
@@ -408,12 +424,12 @@ func (s *Session) validate(ps *pointState) {
 		if vals != nil {
 			v = vals[k]
 		} else {
-			v = s.eval(ps.point, rng.New(s.seeds.SampleSeed(s.opts.MasterSeed, id)))
+			v = s.eval.EvalPoint(ps.point, rng.New(s.seeds.SampleSeed(s.opts.MasterSeed, id)))
 		}
 		ps.drawn[id] = v
 		ps.validated[id] = true
 		s.stats.Evaluations++
-		if !approxEqual(v, ps.mapping.Apply(b.samples[id]), s.opts.Tolerance) {
+		if !core.ApproxEqual(v, ps.mapping.Apply(b.samples[id]), s.opts.Tolerance) {
 			s.rebind(ps)
 			return
 		}
@@ -473,23 +489,3 @@ func (s *Session) explore(ps *pointState) param.Point {
 	return target.Clone()
 }
 
-// approxEqual mirrors core's relative tolerance comparison.
-func approxEqual(a, b, tol float64) bool {
-	if a == b {
-		return true
-	}
-	scale := 1.0
-	for _, x := range [2]float64{a, b} {
-		if x < 0 {
-			x = -x
-		}
-		if x > scale {
-			scale = x
-		}
-	}
-	d := a - b
-	if d < 0 {
-		d = -d
-	}
-	return d <= tol*scale
-}

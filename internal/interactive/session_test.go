@@ -11,15 +11,15 @@ import (
 )
 
 // linearEval is affine in "week": all points share one basis.
-func linearEval(p param.Point, r *rng.Rand) float64 {
+var linearEval = mc.EvalFunc(func(p param.Point, r *rng.Rand) float64 {
 	w := p.MustGet("week")
 	return r.Normal(2*w, 0.5*w+1)
-}
+})
 
 // forkEval switches distributions at week 10 in a way that linear
 // mappings cannot absorb (noise from different draw counts), forcing
 // distinct bases and exercising validation.
-func forkEval(p param.Point, r *rng.Rand) float64 {
+var forkEval = mc.EvalFunc(func(p param.Point, r *rng.Rand) float64 {
 	w := p.MustGet("week")
 	if w < 10 {
 		return r.Normal(w, 1)
@@ -27,7 +27,7 @@ func forkEval(p param.Point, r *rng.Rand) float64 {
 	a := r.Normal(0, 1)
 	b := r.Normal(w, 2)
 	return a*a + b
-}
+})
 
 func newTestSession(t *testing.T, eval mc.PointEval, lo, hi float64) *Session {
 	t.Helper()

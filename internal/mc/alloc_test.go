@@ -1,0 +1,64 @@
+package mc
+
+import (
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/param"
+)
+
+// The sweep hot path must be (amortized) allocation-free per reused
+// point: fingerprint, probe, mapping application and summary all run
+// out of pooled per-worker scratch. This regression test pins the
+// budget — the small constant covers the boxed mapping returned by
+// mapping discovery and pool bookkeeping, nothing proportional to the
+// sample count.
+
+// reusedPointAllocBudget is the allowed allocations per reused
+// EvaluatePoint: the boxed core.Linear mapping plus sync.Pool get/put
+// bookkeeping. Anything near the sample count (1000) means the
+// scratch wiring regressed.
+const reusedPointAllocBudget = 8
+
+func TestEvaluatePointReusedAllocs(t *testing.T) {
+	e := MustNew(Options{
+		Samples: 1000, FingerprintLen: 10, MasterSeed: 0x5161,
+		Reuse: true, Index: IndexNormalization, Workers: 1,
+	})
+	ev := MustBindBox(blackbox.NewDemand(), "week", "feature")
+	// First point registers the basis.
+	e.EvaluatePoint(ev, param.Point{"week": 10, "feature": 52})
+	p := param.Point{"week": 30, "feature": 52}
+	if res := e.EvaluatePoint(ev, p); !res.Reused {
+		t.Fatal("second point not reused; test needs a mappable pair")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if res := e.EvaluatePoint(ev, p); !res.Reused {
+			t.Fatal("point stopped reusing")
+		}
+	})
+	if allocs > reusedPointAllocBudget {
+		t.Errorf("reused EvaluatePoint allocates %.1f, budget %d", allocs, reusedPointAllocBudget)
+	}
+}
+
+func TestFullSimulationScratchReuse(t *testing.T) {
+	// Without sample retention, repeated full simulations of the same
+	// engine must not allocate per sample: the sample vector, seeds
+	// and bound arguments all come from scratch. The budget covers the
+	// basis registration (payload, fingerprint clone, label) — per
+	// point, not per sample.
+	e := MustNew(Options{
+		Samples: 1000, FingerprintLen: 10, MasterSeed: 0x5161,
+		Reuse: false, Workers: 1,
+	})
+	ev := MustBindBox(blackbox.NewDemand(), "week", "feature")
+	p := param.Point{"week": 30, "feature": 52}
+	e.EvaluatePoint(ev, p) // warm the pool
+	allocs := testing.AllocsPerRun(20, func() {
+		e.EvaluatePoint(ev, p)
+	})
+	if allocs > 16 {
+		t.Errorf("full simulation allocates %.1f per point, want O(1) not O(samples)", allocs)
+	}
+}

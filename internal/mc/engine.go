@@ -15,6 +15,7 @@ import (
 	"jigsaw/internal/blackbox"
 	"jigsaw/internal/core"
 	"jigsaw/internal/param"
+	"jigsaw/internal/pool"
 	"jigsaw/internal/rng"
 	"jigsaw/internal/stats"
 )
@@ -25,7 +26,69 @@ import (
 // Fig. 3's dashed box is "the stochastic function F" being
 // fingerprinted (§3: "Taken to one extreme, the entire Monte Carlo
 // simulation ... can be treated as the stochastic function F").
-type PointEval func(p param.Point, r *rng.Rand) float64
+//
+// Implementations must be safe for concurrent EvalPoint calls (the
+// engine spreads samples and points over workers). Plain functions
+// adapt via EvalFunc; evaluators that can separate argument binding
+// from sampling should additionally implement PointBinder, which the
+// engine's hot loops use to bind a point once instead of per sample.
+type PointEval interface {
+	// EvalPoint draws one sample at p using r as the sole randomness
+	// source.
+	EvalPoint(p param.Point, r *rng.Rand) float64
+}
+
+// EvalFunc adapts a plain function to PointEval.
+type EvalFunc func(p param.Point, r *rng.Rand) float64
+
+// EvalPoint implements PointEval.
+func (f EvalFunc) EvalPoint(p param.Point, r *rng.Rand) float64 { return f(p, r) }
+
+// PointBinder is an optional PointEval capability: evaluators whose
+// per-sample work factors into "resolve the point's arguments" and
+// "run the model on resolved arguments" implement it so the engine
+// binds each point once and then draws all n samples against the
+// bound arguments — no per-sample map lookups, no per-sample
+// allocation. BindBox's evaluators implement it.
+type PointBinder interface {
+	PointEval
+	// BindPoint appends p's resolved arguments to buf (growing it as
+	// needed) and returns the bound slice for EvalBound. The
+	// implementation must not retain buf.
+	BindPoint(p param.Point, buf []float64) []float64
+	// EvalBound draws one sample against arguments previously bound by
+	// BindPoint. It must treat args as read-only: concurrent samples
+	// share one binding.
+	EvalBound(args []float64, r *rng.Rand) float64
+}
+
+// BoundBox adapts a black box to a PointEval by binding its positional
+// arguments to named parameters. It implements PointBinder, so engine
+// hot loops resolve the parameter names once per point.
+type BoundBox struct {
+	box   blackbox.Box
+	names []string
+}
+
+// EvalPoint implements PointEval (the unbatched path: one binding per
+// sample).
+func (b *BoundBox) EvalPoint(p param.Point, r *rng.Rand) float64 {
+	return b.box.Eval(b.BindPoint(p, nil), r)
+}
+
+// BindPoint implements PointBinder.
+func (b *BoundBox) BindPoint(p param.Point, buf []float64) []float64 {
+	buf = buf[:0]
+	for _, n := range b.names {
+		buf = append(buf, p.MustGet(n))
+	}
+	return buf
+}
+
+// EvalBound implements PointBinder.
+func (b *BoundBox) EvalBound(args []float64, r *rng.Rand) float64 {
+	return b.box.Eval(args, r)
+}
 
 // BindBox adapts a black box to a PointEval by binding its positional
 // arguments to named parameters.
@@ -33,14 +96,7 @@ func BindBox(b blackbox.Box, argNames ...string) (PointEval, error) {
 	if len(argNames) != b.Arity() {
 		return nil, fmt.Errorf("mc: %s expects %d args, got %d names", b.Name(), b.Arity(), len(argNames))
 	}
-	names := append([]string(nil), argNames...)
-	return func(p param.Point, r *rng.Rand) float64 {
-		args := make([]float64, len(names))
-		for i, n := range names {
-			args[i] = p.MustGet(n)
-		}
-		return b.Eval(args, r)
-	}, nil
+	return &BoundBox{box: b, names: append([]string(nil), argNames...)}, nil
 }
 
 // MustBindBox is BindBox, panicking on arity mismatch.
@@ -213,18 +269,21 @@ type PointResult struct {
 // Engine evaluates parameter points with optional fingerprint reuse.
 //
 // An Engine is safe for concurrent use: the basis store takes sharded
-// locks and the reuse counters are atomic, so independent goroutines
-// (e.g. interactive sessions sharing a warmed store) may call
-// EvaluatePoint concurrently. Note that concurrent EvaluatePoint
-// callers race benignly on basis registration — both may fully
-// simulate the same fingerprint family before either Adds it. Sweep
-// and SweepBatch avoid that by sequencing all store decisions in
-// enumeration order, which also makes their results bit-identical for
-// every Workers setting.
+// locks, the reuse counters are atomic, and per-worker scratch state
+// is pooled, so independent goroutines (e.g. interactive sessions
+// sharing a warmed store) may call EvaluatePoint concurrently. Note
+// that concurrent EvaluatePoint callers race benignly on basis
+// registration — both may fully simulate the same fingerprint family
+// before either Adds it. Sweep and SweepBatch avoid that by
+// sequencing all store decisions in enumeration order, which also
+// makes their results bit-identical for every Workers setting.
 type Engine struct {
 	opts  Options
 	seeds *rng.SeedSet
 	store *core.Store
+
+	// scratches recycles per-worker hot-path buffers (see scratch.go).
+	scratches *pool.Pool[scratch]
 
 	fullSims atomic.Int64
 	reused   atomic.Int64
@@ -242,9 +301,10 @@ func New(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		opts:  opts,
-		seeds: seeds,
-		store: core.NewStore(opts.Class, opts.newIndex(), opts.Tolerance),
+		opts:      opts,
+		seeds:     seeds,
+		store:     core.NewStore(opts.Class, opts.newIndex(), opts.Tolerance),
+		scratches: newScratchPool(),
 	}, nil
 }
 
@@ -270,20 +330,43 @@ func (e *Engine) Seeds() *rng.SeedSet { return e.seeds }
 // Fingerprint computes the fingerprint of f at p — the first m
 // simulation rounds (§3.1).
 func (e *Engine) Fingerprint(f PointEval, p param.Point) core.Fingerprint {
-	return core.Compute(func(seed uint64) float64 {
-		return f(p, rng.New(seed))
-	}, e.seeds)
+	sc := e.scratches.Get()
+	defer e.scratches.Put(sc)
+	fp := make(core.Fingerprint, e.seeds.Len())
+	e.fingerprintFill(f, p, fp, sc)
+	return fp
+}
+
+// fingerprintFill computes the fingerprint of f at p into dst (whose
+// length selects the number of rounds), binding the point once and
+// reusing the scratch's generator and argument buffer.
+func (e *Engine) fingerprintFill(f PointEval, p param.Point, dst core.Fingerprint, sc *scratch) {
+	sm := bindSampler(f, p, sc.args)
+	r := &sc.r
+	for k := range dst {
+		r.Seed(e.seeds.Seed(k))
+		dst[k] = sm.sample(r)
+	}
+	sc.args = sm.buf()
 }
 
 // EvaluatePoint runs the Monte Carlo estimation for one point,
 // reusing a basis distribution when the store yields a mapping.
 func (e *Engine) EvaluatePoint(f PointEval, p param.Point) PointResult {
-	fp := e.Fingerprint(f, p)
+	sc := e.scratches.Get()
+	defer e.scratches.Put(sc)
+	return e.evaluatePoint(f, p, sc, e.opts.Workers)
+}
+
+// evaluatePoint is EvaluatePoint against caller-owned scratch.
+func (e *Engine) evaluatePoint(f PointEval, p param.Point, sc *scratch, workers int) PointResult {
+	fp := sc.fingerprint(e.seeds.Len())
+	e.fingerprintFill(f, p, fp, sc)
 
 	if e.opts.Reuse {
-		if basis, mapping, ok := e.store.MatchWhere(fp, payloadReady); ok {
-			if e.validateMatch(f, p, basis, mapping) {
-				if res, ok := e.mapBasis(basis, mapping, p, false); ok {
+		if basis, mapping, ok := e.store.MatchWhereBuf(fp, payloadReady, &sc.probe); ok {
+			if e.validateMatch(f, p, basis, mapping, sc) {
+				if res, ok := e.mapBasis(basis, mapping, p, false, sc); ok {
 					e.reused.Add(1)
 					return res
 				}
@@ -291,7 +374,7 @@ func (e *Engine) EvaluatePoint(f PointEval, p param.Point) PointResult {
 		}
 	}
 
-	res, samples := e.fullSimulation(f, p, fp, e.opts.Workers)
+	res, samples := e.fullSimulation(f, p, fp, workers, sc)
 	if e.opts.Reuse {
 		payload := &BasisPayload{Summary: res.Summary}
 		if e.opts.KeepSamples {
@@ -311,7 +394,7 @@ func (e *Engine) EvaluatePoint(f PointEval, p param.Point) PointResult {
 // mapping on them. With ValidationSamples == 0, or when the basis
 // lacks retained samples, the match is trusted as-is (the paper's
 // behavior).
-func (e *Engine) validateMatch(f PointEval, p param.Point, basis *core.Basis, mapping core.Mapping) bool {
+func (e *Engine) validateMatch(f PointEval, p param.Point, basis *core.Basis, mapping core.Mapping, sc *scratch) bool {
 	k := e.opts.ValidationSamples
 	if k <= 0 {
 		return true
@@ -336,39 +419,19 @@ func (e *Engine) validateMatch(f PointEval, p param.Point, basis *core.Basis, ma
 	if hi <= m {
 		return true
 	}
-	seeds := e.seeds.StreamSeeds(e.opts.MasterSeed, hi)
-	var r rng.Rand
+	sm := bindSampler(f, p, sc.args)
+	defer func() { sc.args = sm.buf() }()
+	seeds := e.seeds.Stream(e.opts.MasterSeed)
+	seeds.Skip(m)
+	r := &sc.r
 	for i := m; i < hi; i++ {
-		r.Seed(seeds[i])
-		target := f(p, &r)
-		if !approxEqualValidation(mapping.Apply(payload.Samples[i]), target, e.opts.Tolerance) {
+		r.Seed(seeds.Next())
+		target := sm.sample(r)
+		if !core.ApproxEqual(mapping.Apply(payload.Samples[i]), target, e.opts.Tolerance) {
 			return false
 		}
 	}
 	return true
-}
-
-// approxEqualValidation mirrors core's relative comparison for the
-// validation loop.
-func approxEqualValidation(a, b, tol float64) bool {
-	if a == b {
-		return true
-	}
-	scale := 1.0
-	if ab := abs(a); ab > scale {
-		scale = ab
-	}
-	if bb := abs(b); bb > scale {
-		scale = bb
-	}
-	return abs(a-b) <= tol*scale
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // mapBasis derives the point's result from a matched basis. Affine
@@ -378,7 +441,7 @@ func abs(x float64) float64 {
 // still filling (trusted=false) — is reported unusable (ok=false)
 // and the caller runs the full simulation. trusted skips the Ready
 // check for bases the caller itself completed under a barrier.
-func (e *Engine) mapBasis(basis *core.Basis, mapping core.Mapping, p param.Point, trusted bool) (PointResult, bool) {
+func (e *Engine) mapBasis(basis *core.Basis, mapping core.Mapping, p param.Point, trusted bool, sc *scratch) (PointResult, bool) {
 	payload, _ := basis.Payload.(*BasisPayload)
 	if payload == nil || (!trusted && !payload.Ready()) {
 		return PointResult{}, false
@@ -394,7 +457,8 @@ func (e *Engine) mapBasis(basis *core.Basis, mapping core.Mapping, p param.Point
 		}, true
 	}
 	if len(payload.Samples) > 0 {
-		acc := stats.NewAccumulator(e.opts.KeepSamples)
+		acc := &sc.acc
+		acc.Reset(e.opts.KeepSamples)
 		for _, x := range payload.Samples {
 			acc.Add(mapping.Apply(x))
 		}
@@ -410,21 +474,25 @@ func (e *Engine) mapBasis(basis *core.Basis, mapping core.Mapping, p param.Point
 }
 
 // fullSimulation runs all n rounds: the fingerprint rounds are reused
-// as the first m samples, the remainder is drawn from the extended
-// seed stream, optionally spread over workers goroutines (MCDB
-// evaluates sampled worlds in parallel, §2.1; the parallel sweep
-// passes workers=1 because the pool is already busy with other
-// points). Results are deterministic regardless of worker count
-// because each sample's seed depends only on its id. The raw sample
-// vector is returned for basis-payload retention.
-func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint, workers int) (PointResult, []float64) {
+// as the first m samples, the remainder is drawn from the seed stream,
+// optionally spread over workers goroutines (MCDB evaluates sampled
+// worlds in parallel, §2.1; the parallel sweep passes workers=1
+// because the pool is already busy with other points). Results are
+// deterministic regardless of worker count because each sample's seed
+// depends only on its id. The raw sample vector is returned for
+// basis-payload retention; when the engine does not retain samples it
+// lives in the scratch and must not outlive the point.
+func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint, workers int, sc *scratch) (PointResult, []float64) {
 	n := e.opts.Samples
-	samples := make([]float64, n)
+	var samples []float64
+	if e.opts.KeepSamples {
+		// Ownership transfers to the basis payload: allocate.
+		samples = make([]float64, n)
+	} else {
+		samples = sc.floats(n)
+	}
 	copy(samples, fp)
-
-	seeds := e.seeds.StreamSeeds(e.opts.MasterSeed, n)
 	rest := samples[len(fp):]
-	restSeeds := seeds[len(fp):]
 
 	if workers > 1 && len(rest) >= 256 {
 		var wg sync.WaitGroup
@@ -441,23 +509,31 @@ func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint,
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				sm := bindSampler(f, p, nil)
+				seeds := e.seeds.Stream(e.opts.MasterSeed)
+				seeds.Skip(len(fp) + lo)
 				var r rng.Rand
 				for i := lo; i < hi; i++ {
-					r.Seed(restSeeds[i])
-					rest[i] = f(p, &r)
+					r.Seed(seeds.Next())
+					rest[i] = sm.sample(&r)
 				}
 			}(lo, hi)
 		}
 		wg.Wait()
 	} else {
-		var r rng.Rand
+		sm := bindSampler(f, p, sc.args)
+		seeds := e.seeds.Stream(e.opts.MasterSeed)
+		seeds.Skip(len(fp))
+		r := &sc.r
 		for i := range rest {
-			r.Seed(restSeeds[i])
-			rest[i] = f(p, &r)
+			r.Seed(seeds.Next())
+			rest[i] = sm.sample(r)
 		}
+		sc.args = sm.buf()
 	}
 
-	acc := stats.NewAccumulator(e.opts.KeepSamples)
+	acc := &sc.acc
+	acc.Reset(e.opts.KeepSamples)
 	acc.AddAll(samples)
 	return PointResult{Point: p, Summary: acc.Summarize(e.opts.HistBins), BasisID: -1}, samples
 }

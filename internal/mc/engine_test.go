@@ -13,10 +13,10 @@ import (
 // gaussEval is a PointEval drawing N(week, (0.1*week)^2+1): affine in
 // the week parameter under a fixed seed, so every point maps onto one
 // basis.
-func gaussEval(p param.Point, r *rng.Rand) float64 {
+var gaussEval = EvalFunc(func(p param.Point, r *rng.Rand) float64 {
 	w := p.MustGet("week")
 	return r.Normal(w, 0.1*w+1)
-}
+})
 
 func weekSpace(t *testing.T, lo, hi, step float64) *param.Space {
 	t.Helper()
@@ -33,7 +33,7 @@ func TestBindBox(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := param.Point{"week": 10, "feature": 52}
-	a := f(p, rng.New(3))
+	a := f.EvalPoint(p, rng.New(3))
 	b := blackbox.NewDemand().Eval([]float64{10, 52}, rng.New(3))
 	if a != b {
 		t.Fatalf("bound eval %g != direct eval %g", a, b)

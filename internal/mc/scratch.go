@@ -1,0 +1,94 @@
+package mc
+
+// Per-worker scratch state for the engine's hot path. The paper's
+// pitch is that fingerprint reuse makes sweep points cheap (§3,
+// Figs. 8–9); that only holds if a reused point does not spend its
+// savings in the allocator. Every buffer the per-point pipeline needs
+// — fingerprint, candidate ids, shard signatures, bound arguments,
+// sample vector, accumulator — lives here and is recycled through a
+// typed pool, so the steady-state cost of a reused point is a hash
+// probe and a mapping validation, with (amortized) zero allocations.
+
+import (
+	"jigsaw/internal/core"
+	"jigsaw/internal/param"
+	"jigsaw/internal/pool"
+	"jigsaw/internal/rng"
+	"jigsaw/internal/stats"
+)
+
+// scratch is one worker's reusable state. A scratch is owned by one
+// goroutine at a time: engines hand them out via a pool.Pool
+// (EvaluatePoint) or pin one per worker id (sweepParallel).
+type scratch struct {
+	// probe carries the store's candidate-id and signature buffers.
+	probe core.ProbeScratch
+	// fp is the fingerprint buffer for probe-only fingerprints.
+	fp core.Fingerprint
+	// samples is the full-simulation sample buffer, reused when the
+	// engine does not retain samples (retained samples transfer
+	// ownership to the basis payload and must be freshly allocated).
+	samples []float64
+	// args is the bound-argument buffer for PointBinder evaluators:
+	// the point is bound into it once, not once per sample.
+	args []float64
+	// r is the worker's generator, reseeded per sample.
+	r rng.Rand
+	// acc accumulates sample statistics, Reset between points.
+	acc stats.Accumulator
+}
+
+// newScratchPool builds the engine's scratch pool.
+func newScratchPool() *pool.Pool[scratch] {
+	return pool.NewPool[scratch](nil)
+}
+
+// floats returns sc.samples grown to length n (values undefined).
+func (sc *scratch) floats(n int) []float64 {
+	if cap(sc.samples) < n {
+		sc.samples = make([]float64, n)
+	}
+	sc.samples = sc.samples[:n]
+	return sc.samples
+}
+
+// fingerprint returns sc.fp grown to length m (values undefined).
+func (sc *scratch) fingerprint(m int) core.Fingerprint {
+	if cap(sc.fp) < m {
+		sc.fp = make(core.Fingerprint, m)
+	}
+	sc.fp = sc.fp[:m]
+	return sc.fp
+}
+
+// sampler is a PointEval bound to one parameter point for repeated
+// sampling. For PointBinder evaluators the arguments are bound once
+// (map lookups and all) and every sample is a direct call; for plain
+// evaluators each sample goes through EvalPoint unchanged.
+type sampler struct {
+	f    PointEval
+	pb   PointBinder // non-nil when f supports binding
+	p    param.Point
+	args []float64
+}
+
+// bindSampler binds f to p, reusing buf for the bound arguments.
+// Call (*sampler).buf afterwards to recover the (possibly grown)
+// buffer for reuse.
+func bindSampler(f PointEval, p param.Point, buf []float64) sampler {
+	if pb, ok := f.(PointBinder); ok {
+		return sampler{pb: pb, p: p, args: pb.BindPoint(p, buf)}
+	}
+	return sampler{f: f, p: p, args: buf}
+}
+
+// sample evaluates one simulation round on r.
+func (s *sampler) sample(r *rng.Rand) float64 {
+	if s.pb != nil {
+		return s.pb.EvalBound(s.args, r)
+	}
+	return s.f.EvalPoint(s.p, r)
+}
+
+// buf returns the argument buffer for reuse by the next binding.
+func (s *sampler) buf() []float64 { return s.args }

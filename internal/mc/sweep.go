@@ -34,6 +34,12 @@ import (
 // inside phase B, so validation-enabled sweeps trade scaling for the
 // guard. (The target-side draws depend only on (point, seeds) and
 // could be hoisted into phase A if that trade ever matters.)
+//
+// Every phase runs on pool.ForWorker so each worker id owns one
+// scratch for the whole sweep: fingerprints fill a single bulk
+// backing array, probes reuse candidate buffers, and simulations
+// reuse sample buffers — the steady-state allocation per point is
+// zero on the reuse path (see scratch.go).
 
 // Sweep evaluates every point of the space in enumeration order and
 // returns per-point results plus reuse statistics. This is Jigsaw's
@@ -51,13 +57,15 @@ func (e *Engine) SweepContext(ctx context.Context, f PointEval, space *param.Spa
 		return nil, SweepStats{}, errors.New("mc: nil parameter space")
 	}
 	if e.sweepWorkers(space.Size()) <= 1 {
+		sc := e.scratches.Get()
+		defer e.scratches.Put(sc)
 		results := make([]PointResult, 0, space.Size())
 		var err error
 		space.Each(func(p param.Point) bool {
 			if err = ctx.Err(); err != nil {
 				return false
 			}
-			results = append(results, e.EvaluatePoint(f, p))
+			results = append(results, e.evaluatePoint(f, p, sc, e.opts.Workers))
 			return true
 		})
 		if err != nil {
@@ -80,12 +88,14 @@ func (e *Engine) SweepBatch(f PointEval, points []param.Point) ([]PointResult, S
 // SweepBatchContext is SweepBatch with cancellation.
 func (e *Engine) SweepBatchContext(ctx context.Context, f PointEval, points []param.Point) ([]PointResult, SweepStats, error) {
 	if e.sweepWorkers(len(points)) <= 1 {
+		sc := e.scratches.Get()
+		defer e.scratches.Put(sc)
 		results := make([]PointResult, 0, len(points))
 		for _, p := range points {
 			if err := ctx.Err(); err != nil {
 				return nil, SweepStats{}, err
 			}
-			results = append(results, e.EvaluatePoint(f, p))
+			results = append(results, e.evaluatePoint(f, p, sc, e.opts.Workers))
 		}
 		return results, e.Stats(len(results)), nil
 	}
@@ -123,9 +133,29 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 	results := make([]PointResult, n)
 	fps := make([]core.Fingerprint, n)
 
-	// Phase A: fingerprints, embarrassingly parallel.
-	if err := pool.For(ctx, n, workers, func(i int) {
-		fps[i] = e.Fingerprint(f, points[i])
+	// One scratch per worker id, pinned for all three phases: a
+	// worker id never runs two points concurrently, so its buffers
+	// are reused point after point without synchronization.
+	scratches := make([]*scratch, workers)
+	for w := range scratches {
+		scratches[w] = e.scratches.Get()
+	}
+	defer func() {
+		for _, sc := range scratches {
+			e.scratches.Put(sc)
+		}
+	}()
+
+	// Phase A: fingerprints, embarrassingly parallel. All n
+	// fingerprints share one backing array — one allocation instead
+	// of n (they outlive the phases: misses donate theirs to the
+	// store, which clones, and C2's defensive resimulation rereads).
+	m := e.seeds.Len()
+	backing := make([]float64, n*m)
+	if err := pool.ForWorker(ctx, n, workers, func(w, i int) {
+		fp := core.Fingerprint(backing[i*m : (i+1)*m : (i+1)*m])
+		e.fingerprintFill(f, points[i], fp, scratches[w])
+		fps[i] = fp
 	}); err != nil {
 		return nil, SweepStats{}, err
 	}
@@ -138,6 +168,7 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 	pending := make(map[int]int)
 	done := make([]bool, n)
 	validating := e.opts.ValidationSamples > 0 && e.opts.KeepSamples
+	sc0 := scratches[0]
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, SweepStats{}, err
@@ -152,7 +183,7 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 				}
 				return payloadReady(b)
 			}
-			if basis, mapping, ok := e.store.MatchWhere(fps[i], accept); ok {
+			if basis, mapping, ok := e.store.MatchWhereBuf(fps[i], accept, &sc0.probe); ok {
 				_, ownPending := pending[basis.ID]
 				if validating && ownPending {
 					// Validation compares against the basis' retained
@@ -161,7 +192,7 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 					// is exactly the state the sequential sweep would
 					// have reached before evaluating point i.
 					owner := pending[basis.ID]
-					e.completeSimulation(f, points, fps, plans, results, owner)
+					e.completeSimulation(f, points, fps, plans, results, owner, sc0)
 					done[owner] = true
 					delete(pending, basis.ID)
 					ownPending = false
@@ -170,7 +201,7 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 				// no retained samples to validate against (with
 				// validation active it was completed inline above), and
 				// the sequential sweep trusts such matches as-is.
-				valid := ownPending || e.validateMatch(f, points[i], basis, mapping)
+				valid := ownPending || e.validateMatch(f, points[i], basis, mapping, sc0)
 				if valid && e.basisUsable(basis, mapping, ownPending) {
 					plans[i] = pointPlan{basis: basis, mapping: mapping}
 					continue
@@ -192,30 +223,30 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 	// Phase C1: full simulations for the miss points, in parallel.
 	// Simulated payloads must be complete before any reuse point maps
 	// from them, hence the barrier before C2.
-	if err := pool.For(ctx, n, workers, func(i int) {
+	if err := pool.ForWorker(ctx, n, workers, func(w, i int) {
 		if plans[i].simulate && !done[i] {
-			e.completeSimulation(f, points, fps, plans, results, i)
+			e.completeSimulation(f, points, fps, plans, results, i, scratches[w])
 		}
 	}); err != nil {
 		return nil, SweepStats{}, err
 	}
 
 	// Phase C2: mapped results for the reuse points.
-	if err := pool.For(ctx, n, workers, func(i int) {
+	if err := pool.ForWorker(ctx, n, workers, func(w, i int) {
 		if plans[i].simulate {
 			return
 		}
 		// trusted=true: every basis reused by this sweep was either
 		// ready at phase B or completed by this sweep before the C1→C2
 		// barrier.
-		if res, ok := e.mapBasis(plans[i].basis, plans[i].mapping, points[i], true); ok {
+		if res, ok := e.mapBasis(plans[i].basis, plans[i].mapping, points[i], true, scratches[w]); ok {
 			results[i] = res
 			e.reused.Add(1)
 			return
 		}
 		// Unreachable when basisUsable agreed to the reuse; simulate
 		// defensively rather than return a zero result.
-		res, _ := e.fullSimulation(f, points[i], fps[i], 1)
+		res, _ := e.fullSimulation(f, points[i], fps[i], 1, scratches[w])
 		results[i] = res
 		e.fullSims.Add(1)
 	}); err != nil {
@@ -233,9 +264,9 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 // counter is incremented here — when the work actually runs — so a
 // cancelled sweep does not inflate the engine's lifetime stats with
 // simulations that never happened.
-func (e *Engine) completeSimulation(f PointEval, points []param.Point, fps []core.Fingerprint, plans []pointPlan, results []PointResult, i int) {
+func (e *Engine) completeSimulation(f PointEval, points []param.Point, fps []core.Fingerprint, plans []pointPlan, results []PointResult, i int, sc *scratch) {
 	e.fullSims.Add(1)
-	res, samples := e.fullSimulation(f, points[i], fps[i], 1)
+	res, samples := e.fullSimulation(f, points[i], fps[i], 1, sc)
 	if plans[i].basis != nil {
 		plans[i].payload.Summary = res.Summary
 		if e.opts.KeepSamples {

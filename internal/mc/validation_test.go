@@ -10,12 +10,12 @@ import (
 // indicatorEval emulates an overload-style boolean column whose
 // success probability is the "risk" parameter: the fingerprint
 // false-positive testbed of §6.2.
-func indicatorEval(p param.Point, r *rng.Rand) float64 {
+var indicatorEval = EvalFunc(func(p param.Point, r *rng.Rand) float64 {
 	if r.Bernoulli(p.MustGet("risk")) {
 		return 1
 	}
 	return 0
-}
+})
 
 func TestValidationCatchesIndicatorFalsePositive(t *testing.T) {
 	// Without validation: a rare-risk point's all-zero fingerprint

@@ -17,6 +17,7 @@ package param
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -162,7 +163,7 @@ func (d Decl) Contains(v float64) bool {
 			return false
 		}
 		steps := (v - d.Lo) / d.Step
-		return absf(steps-roundf(steps)) < 1e-9
+		return math.Abs(steps-math.Round(steps)) < 1e-9
 	case KindSet:
 		i := sort.SearchFloat64s(d.Values, v)
 		return i < len(d.Values) && d.Values[i] == v
@@ -189,16 +190,3 @@ func (d Decl) String() string {
 	}
 }
 
-func absf(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-func roundf(x float64) float64 {
-	if x < 0 {
-		return float64(int64(x - 0.5))
-	}
-	return float64(int64(x + 0.5))
-}

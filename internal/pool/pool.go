@@ -1,8 +1,8 @@
-// Package pool provides the worker-pool primitive shared by the
-// concurrent sweep engine (internal/mc) and the interactive session's
-// batch draws (internal/interactive): a bounded fan-out over an index
-// range with atomic work-stealing, so expensive items load-balance
-// instead of pinning a fixed stripe to a slow worker.
+// Package pool provides the concurrency primitives shared by the
+// hot paths: a worker-pool fan-out over an index range (For /
+// ForWorker) with atomic work-stealing, so expensive items
+// load-balance instead of pinning a fixed stripe to a slow worker,
+// and a typed free list (Pool) for per-worker scratch state.
 package pool
 
 import (
@@ -17,6 +17,15 @@ import (
 // cancelled and returns ctx.Err(); indexes already picked up still
 // finish, so fn never races with the caller after For returns.
 func For(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForWorker(ctx, n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker's identity passed to fn: the first
+// argument is a stable id in [0, workers) naming the goroutine that
+// picked the index up (always 0 on the degenerate sequential path).
+// Hot loops use it to give each worker private scratch state — two
+// calls with the same worker id never run concurrently.
+func ForWorker(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if workers > n {
 		workers = n
 	}
@@ -25,7 +34,7 @@ func For(ctx context.Context, n, workers int, fn func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return nil
 	}
@@ -33,17 +42,45 @@ func For(ctx context.Context, n, workers int, fn func(i int)) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ctx.Err()
 }
+
+// Pool is a typed free list over sync.Pool: Get returns a recycled *T
+// (or a fresh one from New), Put recycles it. The Monte Carlo engine
+// keeps its per-worker scratch structs here so steady-state sweeps
+// run allocation-free regardless of how many goroutines call in.
+type Pool[T any] struct {
+	p   sync.Pool
+	New func() *T
+}
+
+// NewPool returns a pool constructing values with newT (which may be
+// nil when the zero value of T is usable).
+func NewPool[T any](newT func() *T) *Pool[T] {
+	pl := &Pool[T]{New: newT}
+	pl.p.New = func() any {
+		if pl.New != nil {
+			return pl.New()
+		}
+		return new(T)
+	}
+	return pl
+}
+
+// Get returns a scratch value, recycled when one is available.
+func (pl *Pool[T]) Get() *T { return pl.p.Get().(*T) }
+
+// Put recycles a scratch value. The caller must not retain x.
+func (pl *Pool[T]) Put(x *T) { pl.p.Put(x) }

@@ -41,3 +41,66 @@ func TestForCancelled(t *testing.T) {
 		t.Fatal("cancellation scheduled every index")
 	}
 }
+
+func TestForWorkerIdsAreStableAndBounded(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 4, 16} {
+		var hits [n]atomic.Int32
+		var badWorker atomic.Int32
+		if err := ForWorker(context.Background(), n, workers, func(w, i int) {
+			if w < 0 || w >= workers {
+				badWorker.Store(1)
+			}
+			hits[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if badWorker.Load() != 0 {
+			t.Fatalf("workers=%d: worker id out of range", workers)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d not covered exactly once", workers, i)
+			}
+		}
+	}
+}
+
+func TestForWorkerSequentialUsesWorkerZero(t *testing.T) {
+	if err := ForWorker(context.Background(), 5, 1, func(w, _ int) {
+		if w != 0 {
+			t.Fatalf("sequential path worker id = %d", w)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	type buf struct{ xs []int }
+	built := 0
+	p := NewPool[buf](func() *buf {
+		built++
+		return &buf{xs: make([]int, 0, 8)}
+	})
+	a := p.Get()
+	a.xs = append(a.xs, 1, 2, 3)
+	p.Put(a)
+	b := p.Get()
+	// Same object back (single goroutine, no GC in between): capacity
+	// is retained, which is the entire point of pooling scratch.
+	if cap(b.xs) < 3 {
+		t.Fatalf("recycled buffer lost capacity: %d", cap(b.xs))
+	}
+	if built > 2 {
+		t.Fatalf("constructor ran %d times for 2 Gets", built)
+	}
+}
+
+func TestPoolNilConstructor(t *testing.T) {
+	p := NewPool[int](nil)
+	x := p.Get()
+	if x == nil || *x != 0 {
+		t.Fatal("nil-constructor pool did not produce zero value")
+	}
+}

@@ -230,20 +230,29 @@ func (s *SeedSet) Extend(master uint64, n int) (*SeedSet, error) {
 // fingerprint of F(Pi) is essentially the outputs of first m simulation
 // rounds"); later samples extend the same splitmix64 stream
 // deterministically.
+//
+// The splitmix64 state after k outputs is master + k·γ, so the id'th
+// output is computable in O(1) — no walk of the stream prefix.
 func (s *SeedSet) SampleSeed(master uint64, id int) uint64 {
 	if id < len(s.seeds) {
 		return s.seeds[id]
 	}
-	sm := master
-	var v uint64
-	for i := 0; i <= id; i++ {
-		v = splitmix64(&sm)
-	}
-	return v
+	return splitmixAt(master, id)
+}
+
+// splitmixAt returns the id'th output (0-based) of the splitmix64
+// stream seeded with master, in O(1): the additive-counter state after
+// id+1 steps is master + (id+1)·γ, and the output is its finalizer.
+func splitmixAt(master uint64, id int) uint64 {
+	z := master + uint64(id+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // StreamSeeds materializes seeds for sample ids [0, n) in one pass,
-// avoiding the quadratic cost of repeated SampleSeed calls.
+// avoiding the quadratic cost of repeated SampleSeed calls. Hot loops
+// that should not allocate use Stream instead.
 func (s *SeedSet) StreamSeeds(master uint64, n int) []uint64 {
 	out := make([]uint64, n)
 	sm := master
@@ -254,9 +263,32 @@ func (s *SeedSet) StreamSeeds(master uint64, n int) []uint64 {
 	return out
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// SeedStream is a zero-allocation cursor over the sample-seed
+// sequence: position k yields SampleSeed(master, k). Because the
+// underlying splitmix64 state is an additive counter, Skip is O(1),
+// which is what lets parallel simulation workers jump straight to
+// their chunk of the stream instead of materializing a seed slice.
+// A SeedStream is a value; each worker keeps its own.
+type SeedStream struct {
+	set    *SeedSet
+	master uint64
+	id     int
 }
+
+// Stream returns a seed cursor positioned at sample id 0.
+func (s *SeedSet) Stream(master uint64) SeedStream {
+	return SeedStream{set: s, master: master}
+}
+
+// Next returns the seed at the cursor and advances it.
+func (st *SeedStream) Next() uint64 {
+	id := st.id
+	st.id++
+	return st.set.SampleSeed(st.master, id)
+}
+
+// Skip advances the cursor by k sample ids in O(1).
+func (st *SeedStream) Skip(k int) { st.id += k }
+
+// Pos returns the sample id the cursor will yield next.
+func (st *SeedStream) Pos() int { return st.id }

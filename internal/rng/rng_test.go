@@ -297,3 +297,63 @@ func TestNormalMomentsAndDeterminism(t *testing.T) {
 		t.Fatalf("Normal variance = %g, want ~4", variance)
 	}
 }
+
+func TestSeedStreamMatchesSampleSeed(t *testing.T) {
+	s := MustSeedSet(777, 10)
+	st := s.Stream(777)
+	for i := 0; i < 64; i++ {
+		if got := st.Next(); got != s.SampleSeed(777, i) {
+			t.Fatalf("stream id %d disagrees with SampleSeed", i)
+		}
+	}
+}
+
+func TestSeedStreamSkip(t *testing.T) {
+	s := MustSeedSet(99, 10)
+	// Skipping k ids must land exactly where k Next calls would.
+	for _, k := range []int{0, 1, 5, 10, 37, 1000} {
+		skipped := s.Stream(99)
+		skipped.Skip(k)
+		if skipped.Pos() != k {
+			t.Fatalf("Skip(%d): Pos = %d", k, skipped.Pos())
+		}
+		walked := s.Stream(99)
+		for i := 0; i < k; i++ {
+			walked.Next()
+		}
+		if a, b := skipped.Next(), walked.Next(); a != b {
+			t.Fatalf("Skip(%d) diverges from %d Next calls: %x vs %x", k, k, a, b)
+		}
+	}
+}
+
+func TestSeedStreamZeroAlloc(t *testing.T) {
+	s := MustSeedSet(5, 10)
+	var sink uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		st := s.Stream(5)
+		st.Skip(10)
+		for i := 0; i < 100; i++ {
+			sink ^= st.Next()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SeedStream allocates %.1f per 100 seeds, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestSampleSeedConstantTime(t *testing.T) {
+	// The O(1) closed form must agree with the definitional splitmix64
+	// walk for ids far beyond the fingerprint prefix.
+	s := MustSeedSet(0xABCD, 4)
+	sm := uint64(0xABCD)
+	var want uint64
+	const id = 100000
+	for i := 0; i <= id; i++ {
+		want = splitmix64(&sm)
+	}
+	if got := s.SampleSeed(0xABCD, id); got != want {
+		t.Fatalf("SampleSeed(%d) = %x, want %x", id, got, want)
+	}
+}

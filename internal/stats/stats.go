@@ -18,13 +18,17 @@ import (
 // and histogram estimation. The Monte Carlo engine feeds it directly
 // from the sample stream.
 type Accumulator struct {
-	n          int
-	mean       float64
-	m2         float64 // sum of squared deviations (Welford)
-	min, max   float64
-	keep       bool
-	samples    []float64
-	sampleSort bool // samples sorted flag, reset on Add
+	n        int
+	mean     float64
+	m2       float64 // sum of squared deviations (Welford)
+	min, max float64
+	keep     bool
+	samples  []float64
+	// sorted is a scratch copy of samples in ascending order, built
+	// lazily by ensureSorted and invalidated on Add. Quantile reads it
+	// so the slice handed out by Samples() keeps its insertion order.
+	sorted      []float64
+	sortedValid bool
 }
 
 // NewAccumulator returns an accumulator. keepSamples controls whether
@@ -32,7 +36,25 @@ type Accumulator struct {
 // the engine keeps them for basis distributions, which the interactive
 // mode extends incrementally).
 func NewAccumulator(keepSamples bool) *Accumulator {
-	return &Accumulator{keep: keepSamples, min: math.Inf(1), max: math.Inf(-1)}
+	a := &Accumulator{}
+	a.Reset(keepSamples)
+	return a
+}
+
+// Reset returns the accumulator to its empty state while retaining
+// buffer capacity, so one accumulator can be recycled across Monte
+// Carlo points without allocating. keepSamples is as in
+// NewAccumulator. A zero-valued Accumulator must be Reset before use.
+func (a *Accumulator) Reset(keepSamples bool) {
+	a.n = 0
+	a.mean = 0
+	a.m2 = 0
+	a.min = math.Inf(1)
+	a.max = math.Inf(-1)
+	a.keep = keepSamples
+	a.samples = a.samples[:0]
+	a.sorted = a.sorted[:0]
+	a.sortedValid = false
 }
 
 // Add ingests one sample using Welford's numerically stable update.
@@ -49,7 +71,7 @@ func (a *Accumulator) Add(x float64) {
 	}
 	if a.keep {
 		a.samples = append(a.samples, x)
-		a.sampleSort = false
+		a.sortedValid = false
 	}
 }
 
@@ -83,9 +105,20 @@ func (a *Accumulator) Min() float64 { return a.min }
 // Max returns the largest sample (−Inf with no samples).
 func (a *Accumulator) Max() float64 { return a.max }
 
-// Samples returns the retained samples (nil when not keeping). The
-// returned slice must not be mutated.
+// Samples returns the retained samples in insertion order (nil when
+// not keeping). The returned slice must not be mutated; the
+// accumulator never reorders it (Quantile sorts a private copy).
 func (a *Accumulator) Samples() []float64 { return a.samples }
+
+// ensureSorted (re)builds the private ascending copy of the samples.
+func (a *Accumulator) ensureSorted() {
+	if a.sortedValid {
+		return
+	}
+	a.sorted = append(a.sorted[:0], a.samples...)
+	sort.Float64s(a.sorted)
+	a.sortedValid = true
+}
 
 // Quantile returns the q'th sample quantile (linear interpolation
 // between order statistics). It returns an error when q is outside
@@ -101,18 +134,21 @@ func (a *Accumulator) Quantile(q float64) (float64, error) {
 	if a.n == 0 {
 		return 0, errors.New("stats: no samples")
 	}
-	if !a.sampleSort {
-		sort.Float64s(a.samples)
-		a.sampleSort = true
-	}
-	pos := q * float64(len(a.samples)-1)
+	a.ensureSorted()
+	return quantileSorted(a.sorted, q), nil
+}
+
+// quantileSorted interpolates the q'th quantile of an ascending
+// sample vector.
+func quantileSorted(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return a.samples[lo], nil
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return a.samples[lo]*(1-frac) + a.samples[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Summary snapshots the characteristics of an output distribution.
@@ -140,16 +176,16 @@ var DefaultQuantiles = []float64{0.05, 0.25, 0.5, 0.75, 0.95}
 
 // Summarize builds a Summary from the accumulator. Histogram and
 // quantiles are included only when samples were retained; bins <= 0
-// omits the histogram.
+// omits the histogram. One sort (cached across calls until the next
+// Add) serves every quantile; the histogram's edges come from the
+// O(1) min/max.
 func (a *Accumulator) Summarize(bins int) Summary {
 	s := Summary{N: a.n, Mean: a.mean, StdDev: a.StdDev(), Min: a.min, Max: a.max}
 	if a.keep && a.n > 0 {
+		a.ensureSorted()
 		s.Quantiles = make(map[float64]float64, len(DefaultQuantiles))
 		for _, q := range DefaultQuantiles {
-			v, err := a.Quantile(q)
-			if err == nil {
-				s.Quantiles[q] = v
-			}
+			s.Quantiles[q] = quantileSorted(a.sorted, q)
 		}
 		if bins > 0 {
 			s.Hist = NewHistogram(a.min, a.max, bins)

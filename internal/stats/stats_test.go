@@ -261,3 +261,87 @@ func TestWelfordNumericalStability(t *testing.T) {
 		t.Fatalf("variance at large offset = %g, want ~1", a.Variance())
 	}
 }
+
+func TestQuantileDoesNotReorderSamples(t *testing.T) {
+	a := NewAccumulator(true)
+	in := []float64{9, 1, 7, 3, 5}
+	a.AddAll(in)
+	if _, err := a.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Samples()
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("Quantile reordered Samples(): %v", got)
+		}
+	}
+	// And the quantiles are still right.
+	med, err := a.Quantile(0.5)
+	if err != nil || med != 5 {
+		t.Fatalf("median = %g, %v", med, err)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	a := NewAccumulator(true)
+	a.AddAll([]float64{1, 2, 3, 4})
+	if _, err := a.Quantile(0.5); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset(true)
+	if a.N() != 0 || a.Mean() != 0 || a.StdDev() != 0 {
+		t.Fatal("Reset left moments behind")
+	}
+	if !math.IsInf(a.Min(), 1) || !math.IsInf(a.Max(), -1) {
+		t.Fatal("Reset left bounds behind")
+	}
+	if len(a.Samples()) != 0 {
+		t.Fatal("Reset left samples behind")
+	}
+	a.AddAll([]float64{10, 30, 20})
+	med, err := a.Quantile(0.5)
+	if err != nil || med != 20 {
+		t.Fatalf("post-Reset median = %g, %v", med, err)
+	}
+	// Reset to keep=false must stop retaining.
+	a.Reset(false)
+	a.Add(1)
+	if a.Samples() != nil && len(a.Samples()) != 0 {
+		t.Fatal("Reset(false) still retains samples")
+	}
+}
+
+func TestSummarizeMatchesQuantile(t *testing.T) {
+	a := NewAccumulator(true)
+	r := rng.New(42)
+	for i := 0; i < 500; i++ {
+		a.Add(r.Normal(10, 2))
+	}
+	s := a.Summarize(0)
+	for _, q := range DefaultQuantiles {
+		want, err := a.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Quantiles[q] != want {
+			t.Fatalf("Summarize q=%g: %g != Quantile %g", q, s.Quantiles[q], want)
+		}
+	}
+}
+
+func TestAccumulatorReuseAfterResetZeroAlloc(t *testing.T) {
+	a := NewAccumulator(false)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	a.AddAll(xs) // warm
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Reset(false)
+		a.AddAll(xs)
+		_ = a.Summarize(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+AddAll+Summarize allocates %.1f, want 0", allocs)
+	}
+}

@@ -197,7 +197,7 @@ func TestVarRequiresAffineMapping(t *testing.T) {
 	// The default linear class is affine, so every Var succeeds; this
 	// guards the error path with a degenerate registration.
 	e := NewEvaluator(mc.Options{Samples: 20, Reuse: true, Workers: 1})
-	ev := func(p param.Point, r *rng.Rand) float64 { return r.StdNormal() }
+	ev := mc.EvalFunc(func(p param.Point, r *rng.Rand) float64 { return r.StdNormal() })
 	if err := e.Register("x", ev); err != nil {
 		t.Fatal(err)
 	}

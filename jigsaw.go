@@ -221,6 +221,12 @@ type (
 	EngineOptions = mc.Options
 	// PointEval evaluates one sample at a parameter point.
 	PointEval = mc.PointEval
+	// EvalFunc adapts a plain function to PointEval.
+	EvalFunc = mc.EvalFunc
+	// PointBinder is the optional PointEval capability the engine's
+	// hot loops use to bind a point's arguments once per point rather
+	// than once per sample (BindBox evaluators implement it).
+	PointBinder = mc.PointBinder
 	// PointResult is the engine's per-point answer.
 	PointResult = mc.PointResult
 	// SweepStats reports reuse accounting.
