@@ -8,11 +8,16 @@
 //	             [-scale quick|paper] [-samples N] [-trials N]
 //	             [-workers N]
 //	jigsaw-bench -json BENCH_sweep.json [-scale quick|paper]
+//	             [-baseline BENCH_sweep.json] [-maxregress 0.20]
 //
 // The -json mode runs the sweep hot-path micro-benchmark
-// (index × reuse × workers) instead of the paper figures and writes
-// the machine-readable perf point EXPERIMENTS.md's "Perf methodology"
-// section describes.
+// (index × reuse × workers, plus a full-simulation-only row) instead
+// of the paper figures and writes the machine-readable perf point
+// EXPERIMENTS.md's "Perf methodology" section describes. With
+// -baseline it additionally compares the fresh numbers against a
+// checked-in report and exits nonzero when any recorded cell's
+// ns/point regressed by more than -maxregress — the CI guard on the
+// hot path.
 package main
 
 import (
@@ -27,12 +32,14 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "fig7, fig8, fig9, fig10, fig11, fig12 or all")
-		scale    = flag.String("scale", "paper", "quick or paper")
-		samples  = flag.Int("samples", 0, "override samples per point")
-		trials   = flag.Int("trials", 0, "override timing trials")
-		workers  = flag.Int("workers", 1, "sweep worker pool size (1 = paper's sequential timings, 0 = all cores)")
-		jsonPath = flag.String("json", "", "run the sweep hot-path benchmark and write BENCH_sweep.json-style output here")
+		which      = flag.String("experiment", "all", "fig7, fig8, fig9, fig10, fig11, fig12 or all")
+		scale      = flag.String("scale", "paper", "quick or paper")
+		samples    = flag.Int("samples", 0, "override samples per point")
+		trials     = flag.Int("trials", 0, "override timing trials")
+		workers    = flag.Int("workers", 1, "sweep worker pool size (1 = paper's sequential timings, 0 = all cores)")
+		jsonPath   = flag.String("json", "", "run the sweep hot-path benchmark and write BENCH_sweep.json-style output here")
+		baseline   = flag.String("baseline", "", "compare the -json run against this checked-in BENCH_sweep.json and fail on regression")
+		maxRegress = flag.Float64("maxregress", 0.20, "allowed ns/point regression per cell vs -baseline (0.20 = +20%)")
 	)
 	flag.Parse()
 
@@ -84,6 +91,33 @@ func main() {
 		}
 		report.Table().Fprint(os.Stdout)
 		fmt.Printf("(sweepbench completed in %v; wrote %s)\n", time.Since(start).Round(time.Millisecond), *jsonPath)
+		if *baseline != "" {
+			f, err := os.Open(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+				os.Exit(1)
+			}
+			base, err := experiments.ReadSweepBench(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+				os.Exit(1)
+			}
+			regs, err := experiments.CompareSweepBench(report, base, *maxRegress)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "jigsaw-bench: %d cell(s) regressed more than %.0f%% vs %s:\n",
+					len(regs), 100**maxRegress, *baseline)
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("no cell regressed more than %.0f%% vs %s\n", 100**maxRegress, *baseline)
+		}
 		return
 	}
 

@@ -44,6 +44,20 @@ func (*Demand) Name() string { return "DemandModel" }
 // Arity implements Box.
 func (*Demand) Arity() int { return 2 }
 
+// params derives the week's combined (µ, σ²) — the single source of
+// Algorithm 1's distribution parameters for both the scalar and block
+// paths, whose outputs must stay bit-identical.
+func (d *Demand) params(week, feature float64) (mu, variance float64) {
+	mu = d.BaseRate * week
+	variance = math.Max(0, d.BaseVarRate*week)
+	if week > feature {
+		dt := week - feature
+		mu += d.FeatureRate * dt
+		variance += math.Max(0, d.FeatureVarRate*dt)
+	}
+	return mu, variance
+}
+
 // Eval implements Box. Algorithm 1 adds two independent normals after
 // the release; their sum is itself normal, and the model samples that
 // exact combined distribution with a single variate. The distribution
@@ -53,15 +67,18 @@ func (*Demand) Arity() int { return 2 }
 // one basis distribution for its entire ∼5000 point parameter space").
 func (d *Demand) Eval(args []float64, r *rng.Rand) float64 {
 	checkArity(d.Name(), d.Arity(), args)
-	week, feature := args[0], args[1]
-	mu := d.BaseRate * week
-	variance := math.Max(0, d.BaseVarRate*week)
-	if week > feature {
-		dt := week - feature
-		mu += d.FeatureRate * dt
-		variance += math.Max(0, d.FeatureVarRate*dt)
-	}
+	mu, variance := d.params(args[0], args[1])
 	return r.NormalVar(mu, variance)
+}
+
+// EvalBlock implements BlockBox. Demand's distribution parameters
+// depend only on the arguments, so the block kernel resolves (µ, σ²)
+// once and hands the whole block to the bulk normal filler — the
+// arity check, branch, and √σ² all leave the per-sample loop.
+func (d *Demand) EvalBlock(args []float64, out []float64, seeds []uint64) {
+	checkArity(d.Name(), d.Arity(), args)
+	mu, variance := d.params(args[0], args[1])
+	rng.FillNormalVar(out, mu, variance, seeds)
 }
 
 // Capacity simulates a series of purchases, each increasing cluster
@@ -129,6 +146,32 @@ func (c *Capacity) Eval(args []float64, r *rng.Rand) float64 {
 	return capacity
 }
 
+// EvalBlock implements BlockBox. Capacity's stream mixes normal,
+// Bernoulli and exponential draws, so the kernel keeps one local
+// generator and replays Eval's exact sequence per seed; the block
+// form hoists the argument decode, arity check and exponential rate
+// out of the loop and drops the per-sample interface dispatch.
+func (c *Capacity) EvalBlock(args []float64, out []float64, seeds []uint64) {
+	checkArity(c.Name(), c.Arity(), args)
+	checkBlock(c.Name(), out, seeds)
+	week := args[0]
+	purchases := args[1:]
+	rate := 1 / c.MeanDelay
+	var r rng.Rand
+	for i, seed := range seeds {
+		r.Seed(seed)
+		capacity := c.Base + r.Normal(0, c.BaseNoise)
+		capacity -= float64(r.Binomial(c.FailTrials, c.FailRate))
+		for _, purchase := range purchases {
+			delay := r.Exponential(rate)
+			if week >= purchase+delay {
+				capacity += c.PurchaseVolume
+			}
+		}
+		out[i] = capacity
+	}
+}
+
 // Overload is the black box synthesized from Capacity and Demand
 // (Fig. 6): Demand's feature release is ignored (pinned far in the
 // future) and the output is 1 when demand exceeds capacity, else 0.
@@ -170,4 +213,26 @@ func (o *Overload) Eval(args []float64, r *rng.Rand) float64 {
 		return 1
 	}
 	return 0
+}
+
+// EvalBlock implements BlockBox. The composed models share one
+// generator per sample (Capacity's noise draw consumes the second
+// polar variate Demand's draw cached), so the kernel replays Eval's
+// call sequence against a local generator; the demand argument vector
+// Eval rebuilds per sample is hoisted to a stack buffer.
+func (o *Overload) EvalBlock(args []float64, out []float64, seeds []uint64) {
+	checkArity(o.Name(), o.Arity(), args)
+	checkBlock(o.Name(), out, seeds)
+	dargs := [2]float64{args[0], o.NoFeature}
+	var r rng.Rand
+	for i, seed := range seeds {
+		r.Seed(seed)
+		demand := o.DemandModel.Eval(dargs[:], &r)
+		capacity := o.CapacityModel.Eval(args, &r)
+		if capacity < demand {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
 }

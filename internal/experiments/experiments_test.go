@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -231,4 +233,52 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func TestCompareSweepBench(t *testing.T) {
+	base := &SweepBenchReport{Results: []SweepBenchResult{
+		{Name: "sweep/a", NsPerPoint: 100},
+		{Name: "sweep/b", NsPerPoint: 1000},
+		{Name: "sweep/gone", NsPerPoint: 50},
+	}}
+	cur := &SweepBenchReport{Results: []SweepBenchResult{
+		{Name: "sweep/a", NsPerPoint: 115},  // +15%: within budget
+		{Name: "sweep/b", NsPerPoint: 1300}, // +30%: regressed
+		{Name: "sweep/new", NsPerPoint: 10}, // no baseline: skipped
+	}}
+	regs, err := CompareSweepBench(cur, base, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].Name != "sweep/b" || regs[0].Ratio < 1.29 || regs[0].Ratio > 1.31 {
+		t.Fatalf("unexpected regression %+v", regs[0])
+	}
+	if _, err := CompareSweepBench(&SweepBenchReport{Samples: 200}, &SweepBenchReport{Samples: 1000}, 0.20); err == nil {
+		t.Fatal("scale mismatch not rejected")
+	}
+	disjoint := &SweepBenchReport{Results: []SweepBenchResult{{Name: "sweep/renamed", NsPerPoint: 1}}}
+	if _, err := CompareSweepBench(disjoint, base, 0.20); err == nil {
+		t.Fatal("comparison matching zero cells not rejected")
+	}
+}
+
+func TestSweepBenchReadWriteRoundTrip(t *testing.T) {
+	in := &SweepBenchReport{
+		GoVersion: "go-test", Samples: 10, FingerprintLen: 2, Points: 4,
+		Results: []SweepBenchResult{{Name: "sweep/x", Index: "Array", Points: 4, NsPerPoint: 42}},
+	}
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSweepBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged:\nin:  %+v\nout: %+v", in, out)
+	}
 }

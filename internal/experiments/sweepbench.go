@@ -62,6 +62,11 @@ type SweepBenchReport struct {
 	Results []SweepBenchResult `json:"results"`
 }
 
+// benchParallelWorkers is the default workers>1 grid column: fixed so
+// recorded cell names are machine-independent, modest enough that the
+// pool oversubscribes gracefully on small machines.
+const benchParallelWorkers = 4
+
 // sweepBenchSpace is the benchmark workload: the paper's Demand model
 // over a (week × release) grid — the reuse-heavy shape Fig. 8 leads
 // with, so the reuse=true cells measure the mapped-point hot path and
@@ -88,19 +93,33 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 	}
 	ev := mc.MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
 
-	workerGrid := []int{1}
-	if cfg.Workers > 1 {
-		workerGrid = append(workerGrid, cfg.Workers)
-	} else if n := runtime.GOMAXPROCS(0); n > 1 {
-		workerGrid = append(workerGrid, n)
+	// The grid always includes a workers>1 column so the parallel
+	// sweep path is on the recorded trajectory even on single-core
+	// machines (where its numbers measure coordination overhead, not
+	// speedup — the point is catching regressions in the path). The
+	// column is a fixed pool size, not GOMAXPROCS, so cell names —
+	// the comparison key of CompareSweepBench — do not depend on the
+	// measuring machine's core count.
+	parallelWorkers := cfg.Workers
+	if parallelWorkers <= 1 {
+		parallelWorkers = benchParallelWorkers
 	}
+	workerGrid := []int{1, parallelWorkers}
 
+	// The full index × reuse grid: reuse=false cells measure the
+	// full-simulation (cold) path — the index is irrelevant to the
+	// work done but recorded so the trajectory covers every
+	// configuration the engine exposes — and reuse=true cells measure
+	// the mapped-point hot path per index.
 	type cell struct {
 		index mc.IndexKind
 		reuse bool
 	}
 	cells := []cell{
 		{mc.IndexArray, false},
+		{mc.IndexNormalization, false},
+		{mc.IndexSortedSID, false},
+		{mc.IndexArray, true},
 		{mc.IndexNormalization, true},
 		{mc.IndexSortedSID, true},
 	}
@@ -172,7 +191,121 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 			})
 		}
 	}
+
+	// The full-simulation-only row: one warmed EvaluatePoint per
+	// iteration, no sweep machinery (enumeration, probing, result
+	// slices) — the isolated cost of the block-sampling cold path
+	// that dominates every reuse=false cell above. The workers>1 row
+	// is emitted only when the engine will actually take its parallel
+	// branch; at smaller scales it would silently re-measure the
+	// sequential path under a parallel label.
+	fullsimGrid := workerGrid
+	if cfg.Samples-cfg.FingerprintLen < mc.MinParallelSamples {
+		fullsimGrid = []int{1}
+	}
+	for _, workers := range fullsimGrid {
+		opts := mc.Options{
+			Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
+			MasterSeed: cfg.MasterSeed, Reuse: false, Workers: workers,
+		}
+		eng, err := mc.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		p := param.Point{"current_week": float64(cfg.Weeks / 2), "feature_release": float64(cfg.Weeks / 4)}
+		eng.EvaluatePoint(ev, p) // warm the scratch pool
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.EvaluatePoint(ev, p)
+			}
+		})
+		report.Results = append(report.Results, SweepBenchResult{
+			Name:           fmt.Sprintf("fullsim/workers=%d", workers),
+			Index:          "none",
+			Reuse:          false,
+			Workers:        workers,
+			Points:         1,
+			NsPerPoint:     float64(res.NsPerOp()),
+			AllocsPerPoint: float64(res.AllocsPerOp()),
+			BytesPerPoint:  float64(res.AllocedBytesPerOp()),
+			ReuseRate:      0,
+		})
+	}
 	return report, nil
+}
+
+// Regression describes one benchmark cell that regressed against a
+// baseline report.
+type Regression struct {
+	// Name is the cell label.
+	Name string
+	// BaselineNs and CurrentNs are the recorded ns/point figures.
+	BaselineNs, CurrentNs float64
+	// Ratio is CurrentNs / BaselineNs.
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/point vs baseline %.0f (%.2fx)",
+		r.Name, r.CurrentNs, r.BaselineNs, r.Ratio)
+}
+
+// CompareSweepBench checks a fresh report against a baseline and
+// returns one Regression per cell whose ns/point grew by more than
+// maxRegress (0.20 = +20%). Cells present in only one report are
+// skipped — the grid is allowed to grow — but a comparison that
+// matches no cell at all errors rather than reading as a green gate.
+//
+// Absolute ns are machine-dependent, so the comparison is only
+// calibrated between runs on comparable machines: the checked-in
+// baseline is regenerated on the recording machine whenever the hot
+// path intentionally changes, and a CI runner slower than it by more
+// than the threshold will flag every cell. That failure mode is loud
+// and obvious (every cell at a similar ratio ⇒ machine delta;
+// isolated cells ⇒ genuine regression) and the intended response is
+// regenerating the baseline on the class of machine CI uses — not
+// widening maxRegress.
+func CompareSweepBench(current, baseline *SweepBenchReport, maxRegress float64) ([]Regression, error) {
+	if current.Samples != baseline.Samples || current.FingerprintLen != baseline.FingerprintLen {
+		return nil, fmt.Errorf("experiments: scale mismatch: current n=%d m=%d vs baseline n=%d m=%d (compare equal -scale runs)",
+			current.Samples, current.FingerprintLen, baseline.Samples, baseline.FingerprintLen)
+	}
+	base := make(map[string]SweepBenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regs []Regression
+	matched := 0
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok || b.NsPerPoint <= 0 || cur.Points != b.Points {
+			continue
+		}
+		matched++
+		ratio := cur.NsPerPoint / b.NsPerPoint
+		if ratio > 1+maxRegress {
+			regs = append(regs, Regression{
+				Name: cur.Name, BaselineNs: b.NsPerPoint, CurrentNs: cur.NsPerPoint, Ratio: ratio,
+			})
+		}
+	}
+	if matched == 0 {
+		// A comparison that matched nothing (renamed cells, resized
+		// space) must not read as a green gate.
+		return nil, fmt.Errorf("experiments: no baseline cell comparable to the current report (%d current, %d baseline cells)",
+			len(current.Results), len(baseline.Results))
+	}
+	return regs, nil
+}
+
+// ReadSweepBench parses a BENCH_sweep.json payload.
+func ReadSweepBench(r io.Reader) (*SweepBenchReport, error) {
+	var report SweepBenchReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return nil, fmt.Errorf("experiments: parsing sweep bench report: %w", err)
+	}
+	return &report, nil
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -62,11 +62,35 @@ type PointBinder interface {
 	EvalBound(args []float64, r *rng.Rand) float64
 }
 
+// BlockBinder is an optional PointBinder capability: evaluators that
+// can draw a whole block of independently seeded samples in one call
+// implement it, and the engine's cold path (full simulations,
+// fingerprints, match validation) feeds them pooled seed blocks
+// instead of one sample per call. EvalBlockBound must be bit-identical
+// to the scalar loop
+//
+//	for i := range seeds { r.Seed(seeds[i]); out[i] = EvalBound(args, r) }
+//
+// — the engine relies on that to keep sweep results independent of
+// block size and to mix block and scalar evaluation freely (see
+// DESIGN.md, "Block-sampling pipeline"). BindBox's evaluators
+// implement it for every box (natively block-capable or through the
+// scalar adapter).
+type BlockBinder interface {
+	PointBinder
+	// EvalBlockBound draws one sample per seed against arguments
+	// previously bound by BindPoint. len(out) must equal len(seeds).
+	EvalBlockBound(args []float64, out []float64, seeds []uint64)
+}
+
 // BoundBox adapts a black box to a PointEval by binding its positional
 // arguments to named parameters. It implements PointBinder, so engine
-// hot loops resolve the parameter names once per point.
+// hot loops resolve the parameter names once per point, and
+// BlockBinder, so they sample in blocks (vectorized when the box has a
+// native blackbox.BlockBox kernel, reference scalar loop otherwise).
 type BoundBox struct {
 	box   blackbox.Box
+	block blackbox.BlockBox
 	names []string
 }
 
@@ -90,13 +114,18 @@ func (b *BoundBox) EvalBound(args []float64, r *rng.Rand) float64 {
 	return b.box.Eval(args, r)
 }
 
+// EvalBlockBound implements BlockBinder.
+func (b *BoundBox) EvalBlockBound(args []float64, out []float64, seeds []uint64) {
+	b.block.EvalBlock(args, out, seeds)
+}
+
 // BindBox adapts a black box to a PointEval by binding its positional
 // arguments to named parameters.
 func BindBox(b blackbox.Box, argNames ...string) (PointEval, error) {
 	if len(argNames) != b.Arity() {
 		return nil, fmt.Errorf("mc: %s expects %d args, got %d names", b.Name(), b.Arity(), len(argNames))
 	}
-	return &BoundBox{box: b, names: append([]string(nil), argNames...)}, nil
+	return &BoundBox{box: b, block: blackbox.AsBlock(b), names: append([]string(nil), argNames...)}, nil
 }
 
 // MustBindBox is BindBox, panicking on arity mismatch.
@@ -177,7 +206,26 @@ type Options struct {
 	// spreads its sample rounds instead. Results are deterministic for
 	// any worker count (see DESIGN.md, "Concurrency model").
 	Workers int
+	// BlockSize is the number of samples the full-simulation path
+	// draws per batch through the block pipeline; 0 means
+	// DefaultBlockSize. It is a pure performance knob: every sample's
+	// seed depends only on its id, so results are bit-identical for
+	// every block size (see DESIGN.md, "Block-sampling pipeline").
+	BlockSize int
 }
+
+// DefaultBlockSize is the sample-block size used when
+// Options.BlockSize is 0: large enough to amortize per-block setup
+// (seed fill, kernel dispatch, binding checks) to noise, small enough
+// that a block's seeds and samples stay L1-resident (4 KiB together).
+const DefaultBlockSize = 256
+
+// MinParallelSamples is the smallest post-fingerprint sample count
+// for which a lone EvaluatePoint with Workers > 1 spreads its rounds
+// over goroutines; below it the spawn overhead dwarfs the work and
+// the engine stays sequential. Exported so benchmarks can tell which
+// branch a configuration exercises.
+const MinParallelSamples = 256
 
 // withDefaults returns a copy with unset fields defaulted.
 func (o Options) withDefaults() Options {
@@ -195,6 +243,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = DefaultBlockSize
 	}
 	return o
 }
@@ -339,14 +390,14 @@ func (e *Engine) Fingerprint(f PointEval, p param.Point) core.Fingerprint {
 
 // fingerprintFill computes the fingerprint of f at p into dst (whose
 // length selects the number of rounds), binding the point once and
-// reusing the scratch's generator and argument buffer.
+// sampling the m rounds as a single block out of the scratch's seed
+// buffer (the seed-set prefix is the first m sample seeds).
 func (e *Engine) fingerprintFill(f PointEval, p param.Point, dst core.Fingerprint, sc *scratch) {
 	sm := bindSampler(f, p, sc.args)
-	r := &sc.r
-	for k := range dst {
-		r.Seed(e.seeds.Seed(k))
-		dst[k] = sm.sample(r)
-	}
+	seeds := sc.seedBuf(len(dst))
+	st := e.seeds.Stream(e.opts.MasterSeed)
+	st.FillSeeds(seeds)
+	sm.sampleBlock(dst, seeds, &sc.r)
 	sc.args = sm.buf()
 }
 
@@ -421,13 +472,17 @@ func (e *Engine) validateMatch(f PointEval, p param.Point, basis *core.Basis, ma
 	}
 	sm := bindSampler(f, p, sc.args)
 	defer func() { sc.args = sm.buf() }()
-	seeds := e.seeds.Stream(e.opts.MasterSeed)
-	seeds.Skip(m)
-	r := &sc.r
+	count := hi - m
+	seeds := sc.seedBuf(count)
+	st := e.seeds.Stream(e.opts.MasterSeed)
+	st.Skip(m)
+	st.FillSeeds(seeds)
+	// The target draws land in the scratch sample buffer; on a failed
+	// validation the subsequent full simulation simply overwrites it.
+	targets := sc.floats(count)
+	sm.sampleBlock(targets, seeds, &sc.r)
 	for i := m; i < hi; i++ {
-		r.Seed(seeds.Next())
-		target := sm.sample(r)
-		if !core.ApproxEqual(mapping.Apply(payload.Samples[i]), target, e.opts.Tolerance) {
+		if !core.ApproxEqual(mapping.Apply(payload.Samples[i]), targets[i-m], e.opts.Tolerance) {
 			return false
 		}
 	}
@@ -494,7 +549,7 @@ func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint,
 	copy(samples, fp)
 	rest := samples[len(fp):]
 
-	if workers > 1 && len(rest) >= 256 {
+	if workers > 1 && len(rest) >= MinParallelSamples {
 		var wg sync.WaitGroup
 		chunk := (len(rest) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
@@ -509,33 +564,54 @@ func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint,
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				sm := bindSampler(f, p, nil)
-				seeds := e.seeds.Stream(e.opts.MasterSeed)
-				seeds.Skip(len(fp) + lo)
-				var r rng.Rand
-				for i := lo; i < hi; i++ {
-					r.Seed(seeds.Next())
-					rest[i] = sm.sample(&r)
-				}
+				// Pooled per-worker scratch, like the sweep phases: the
+				// binding buffer, seed block and fallback generator are
+				// all recycled instead of allocated per goroutine.
+				wsc := e.scratches.Get()
+				defer e.scratches.Put(wsc)
+				sm := bindSampler(f, p, wsc.args)
+				e.sampleRange(&sm, rest[lo:hi], len(fp)+lo, wsc)
+				wsc.args = sm.buf()
 			}(lo, hi)
 		}
 		wg.Wait()
 	} else {
 		sm := bindSampler(f, p, sc.args)
-		seeds := e.seeds.Stream(e.opts.MasterSeed)
-		seeds.Skip(len(fp))
-		r := &sc.r
-		for i := range rest {
-			r.Seed(seeds.Next())
-			rest[i] = sm.sample(r)
-		}
+		e.sampleRange(&sm, rest, len(fp), sc)
 		sc.args = sm.buf()
 	}
 
 	acc := &sc.acc
 	acc.Reset(e.opts.KeepSamples)
-	acc.AddAll(samples)
+	acc.AddBlock(samples)
 	return PointResult{Point: p, Summary: acc.Summarize(e.opts.HistBins), BasisID: -1}, samples
+}
+
+// sampleRange draws the samples with ids [start, start+len(dst)) into
+// dst, one block at a time: each block's seeds are materialized into
+// the scratch's seed buffer and handed to the sampler's block kernel.
+// Chunk and block boundaries are invisible in the output because each
+// sample's seed depends only on its id.
+func (e *Engine) sampleRange(sm *sampler, dst []float64, start int, sc *scratch) {
+	bs := e.opts.BlockSize
+	if bs > len(dst) {
+		bs = len(dst)
+	}
+	if bs == 0 {
+		return
+	}
+	seeds := sc.seedBuf(bs)
+	st := e.seeds.Stream(e.opts.MasterSeed)
+	st.Skip(start)
+	for lo := 0; lo < len(dst); lo += bs {
+		hi := lo + bs
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		blk := seeds[:hi-lo]
+		st.FillSeeds(blk)
+		sm.sampleBlock(dst[lo:hi], blk, &sc.r)
+	}
 }
 
 // SweepStats aggregates reuse accounting for a parameter sweep.

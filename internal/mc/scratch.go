@@ -32,7 +32,12 @@ type scratch struct {
 	// args is the bound-argument buffer for PointBinder evaluators:
 	// the point is bound into it once, not once per sample.
 	args []float64
-	// r is the worker's generator, reseeded per sample.
+	// seeds is the per-block sample-seed buffer: the seed stream is
+	// materialized one block at a time instead of one cursor call per
+	// sample.
+	seeds []uint64
+	// r is the worker's generator, reseeded per sample on the scalar
+	// fallback path (block evaluators never touch it).
 	r rng.Rand
 	// acc accumulates sample statistics, Reset between points.
 	acc stats.Accumulator
@@ -61,13 +66,25 @@ func (sc *scratch) fingerprint(m int) core.Fingerprint {
 	return sc.fp
 }
 
+// seedBuf returns sc.seeds grown to length n (values undefined).
+func (sc *scratch) seedBuf(n int) []uint64 {
+	if cap(sc.seeds) < n {
+		sc.seeds = make([]uint64, n)
+	}
+	sc.seeds = sc.seeds[:n]
+	return sc.seeds
+}
+
 // sampler is a PointEval bound to one parameter point for repeated
 // sampling. For PointBinder evaluators the arguments are bound once
 // (map lookups and all) and every sample is a direct call; for plain
-// evaluators each sample goes through EvalPoint unchanged.
+// evaluators each sample goes through EvalPoint unchanged. Evaluators
+// with the BlockBinder capability additionally sample whole blocks
+// through one call.
 type sampler struct {
 	f    PointEval
 	pb   PointBinder // non-nil when f supports binding
+	bb   BlockBinder // non-nil when f supports block evaluation
 	p    param.Point
 	args []float64
 }
@@ -76,6 +93,9 @@ type sampler struct {
 // Call (*sampler).buf afterwards to recover the (possibly grown)
 // buffer for reuse.
 func bindSampler(f PointEval, p param.Point, buf []float64) sampler {
+	if bb, ok := f.(BlockBinder); ok {
+		return sampler{pb: bb, bb: bb, p: p, args: bb.BindPoint(p, buf)}
+	}
 	if pb, ok := f.(PointBinder); ok {
 		return sampler{pb: pb, p: p, args: pb.BindPoint(p, buf)}
 	}
@@ -88,6 +108,21 @@ func (s *sampler) sample(r *rng.Rand) float64 {
 		return s.pb.EvalBound(s.args, r)
 	}
 	return s.f.EvalPoint(s.p, r)
+}
+
+// sampleBlock evaluates one simulation round per seed into out.
+// Block-capable evaluators take the vectorized kernel; everything
+// else falls back to a reseed-per-sample loop on r, so the results
+// are bit-identical either way (BlockBinder's contract).
+func (s *sampler) sampleBlock(out []float64, seeds []uint64, r *rng.Rand) {
+	if s.bb != nil {
+		s.bb.EvalBlockBound(s.args, out, seeds)
+		return
+	}
+	for i, seed := range seeds {
+		r.Seed(seed)
+		out[i] = s.sample(r)
+	}
 }
 
 // buf returns the argument buffer for reuse by the next binding.

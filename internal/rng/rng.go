@@ -35,13 +35,11 @@ type Rand struct {
 }
 
 // splitmix64 advances the given state and returns the next output of
-// the splitmix64 generator. It is used solely for seeding.
+// the splitmix64 generator (γ and the shared output finalizer live in
+// block.go). It is used solely for seeding.
 func splitmix64(state *uint64) uint64 {
-	*state += 0x9e3779b97f4a7c15
-	z := *state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	*state += smGamma
+	return smMix(*state)
 }
 
 // New returns a generator seeded from the single 64-bit seed. Distinct
@@ -149,10 +147,7 @@ func (r *Rand) Restore(s [4]uint64) {
 // (world, row) pair an independent stream, and the Markov engine to
 // give each (instance, step) pair one.
 func Mix(seed, salt uint64) uint64 {
-	z := seed + 0x9e3779b97f4a7c15*(salt+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return smMix(seed + smGamma*(salt+1))
 }
 
 // ErrEmptySeedSet is returned by NewSeedSet when m < 1.
@@ -244,10 +239,7 @@ func (s *SeedSet) SampleSeed(master uint64, id int) uint64 {
 // stream seeded with master, in O(1): the additive-counter state after
 // id+1 steps is master + (id+1)·γ, and the output is its finalizer.
 func splitmixAt(master uint64, id int) uint64 {
-	z := master + uint64(id+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return smMix(master + uint64(id+1)*smGamma)
 }
 
 // StreamSeeds materializes seeds for sample ids [0, n) in one pass,

@@ -75,10 +75,126 @@ func (a *Accumulator) Add(x float64) {
 	}
 }
 
-// AddAll ingests a batch of samples.
+// AddAll ingests a batch of samples one at a time, bit-identical to a
+// loop of Add calls.
 func (a *Accumulator) AddAll(xs []float64) {
 	for _, x := range xs {
 		a.Add(x)
+	}
+}
+
+// blockLanes is the unroll factor of AddBlock's fused reduction, and
+// blockMin the batch size below which the scalar loop wins.
+const (
+	blockLanes = 4
+	blockMin   = 4 * blockLanes
+)
+
+// AddBlock ingests a batch of samples through a fused four-lane
+// reduction: one pass accumulates lane sums and min/max, a second
+// accumulates squared deviations from the batch mean, and the batch
+// moments merge into the running state by the parallel-variance
+// combine of Chan et al. The reduction breaks the serial dependency
+// chain of Welford's update (a divide per sample), which is what lets
+// the Monte Carlo cold path summarize a block at memory speed; the
+// two-pass form is also at least as accurate as the streaming update.
+//
+// AddBlock is deterministic — identical prior state and batch yield
+// identical results — but its rounding differs from the equivalent
+// sequence of Add calls, and depends on how a sample stream is split
+// across AddBlock calls. Callers that need stream-split-invariant
+// bits (the engine does: its full-simulation path always summarizes
+// one complete sample vector per point) must keep their call pattern
+// fixed; callers mixing incremental Adds keep using Add/AddAll.
+func (a *Accumulator) AddBlock(xs []float64) {
+	if len(xs) < blockMin {
+		a.AddAll(xs)
+		return
+	}
+	var s0, s1, s2, s3 float64
+	mn, mx := math.Inf(1), math.Inf(-1)
+	i := 0
+	for ; i+blockLanes <= len(xs); i += blockLanes {
+		x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
+		s0 += x0
+		s1 += x1
+		s2 += x2
+		s3 += x3
+		if x0 < mn {
+			mn = x0
+		}
+		if x0 > mx {
+			mx = x0
+		}
+		if x1 < mn {
+			mn = x1
+		}
+		if x1 > mx {
+			mx = x1
+		}
+		if x2 < mn {
+			mn = x2
+		}
+		if x2 > mx {
+			mx = x2
+		}
+		if x3 < mn {
+			mn = x3
+		}
+		if x3 > mx {
+			mx = x3
+		}
+	}
+	for ; i < len(xs); i++ {
+		x := xs[i]
+		s0 += x
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	n := float64(len(xs))
+	mean := ((s0 + s1) + (s2 + s3)) / n
+
+	var q0, q1, q2, q3 float64
+	i = 0
+	for ; i+blockLanes <= len(xs); i += blockLanes {
+		d0 := xs[i] - mean
+		d1 := xs[i+1] - mean
+		d2 := xs[i+2] - mean
+		d3 := xs[i+3] - mean
+		q0 += d0 * d0
+		q1 += d1 * d1
+		q2 += d2 * d2
+		q3 += d3 * d3
+	}
+	for ; i < len(xs); i++ {
+		d := xs[i] - mean
+		q0 += d * d
+	}
+	m2 := (q0 + q1) + (q2 + q3)
+
+	if a.n == 0 {
+		a.mean, a.m2 = mean, m2
+	} else {
+		na := float64(a.n)
+		tot := na + n
+		delta := mean - a.mean
+		a.mean += delta * n / tot
+		a.m2 += m2 + delta*delta*na*n/tot
+	}
+	a.n += len(xs)
+	if mn < a.min {
+		a.min = mn
+	}
+	if mx > a.max {
+		a.max = mx
+	}
+	if a.keep {
+		a.samples = append(a.samples, xs...)
+		a.sortedValid = false
 	}
 }
 

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -343,5 +344,126 @@ func TestAccumulatorReuseAfterResetZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Reset+AddAll+Summarize allocates %.1f, want 0", allocs)
+	}
+}
+
+func TestAddBlockMatchesAddAll(t *testing.T) {
+	// AddBlock's lane reduction rounds differently from streaming Add,
+	// but the moments must agree to near machine precision, and the
+	// exact-by-construction fields (n, min, max, retained samples)
+	// must match bit-for-bit.
+	r := rng.New(0xadd)
+	for _, n := range []int{0, 1, 15, 16, 17, 100, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(30, 3)
+		}
+		stream := NewAccumulator(true)
+		stream.AddAll(xs)
+		block := NewAccumulator(true)
+		block.AddBlock(xs)
+
+		if block.N() != stream.N() || block.Min() != stream.Min() || block.Max() != stream.Max() {
+			t.Fatalf("n=%d: n/min/max diverged: %d/%g/%g vs %d/%g/%g",
+				n, block.N(), block.Min(), block.Max(), stream.N(), stream.Min(), stream.Max())
+		}
+		if n > 0 {
+			if rel := math.Abs(block.Mean()-stream.Mean()) / math.Max(1, math.Abs(stream.Mean())); rel > 1e-12 {
+				t.Fatalf("n=%d: mean diverged: %g vs %g", n, block.Mean(), stream.Mean())
+			}
+			if rel := math.Abs(block.Variance()-stream.Variance()) / math.Max(1e-300, stream.Variance()); n > 1 && rel > 1e-9 {
+				t.Fatalf("n=%d: variance diverged: %g vs %g", n, block.Variance(), stream.Variance())
+			}
+		}
+		if !reflect.DeepEqual(block.Samples(), stream.Samples()) {
+			t.Fatalf("n=%d: retained samples diverged", n)
+		}
+	}
+}
+
+func TestAddBlockDeterministic(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 777)
+	for i := range xs {
+		xs[i] = r.StdNormal()
+	}
+	a := NewAccumulator(false)
+	a.AddBlock(xs)
+	b := NewAccumulator(false)
+	b.AddBlock(xs)
+	if a.Mean() != b.Mean() || a.Variance() != b.Variance() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatal("AddBlock is not deterministic for identical input")
+	}
+}
+
+func TestAddBlockCombinesWithPriorState(t *testing.T) {
+	// Chan-combining a second block onto prior state must agree with
+	// a single-accumulator streaming pass to near machine precision.
+	r := rng.New(7)
+	first := make([]float64, 500)
+	second := make([]float64, 321)
+	for i := range first {
+		first[i] = r.Normal(-2, 5)
+	}
+	for i := range second {
+		second[i] = r.Normal(9, 1)
+	}
+	combined := NewAccumulator(false)
+	combined.AddBlock(first)
+	combined.AddBlock(second)
+	stream := NewAccumulator(false)
+	stream.AddAll(first)
+	stream.AddAll(second)
+	if combined.N() != stream.N() {
+		t.Fatalf("n: %d vs %d", combined.N(), stream.N())
+	}
+	if rel := math.Abs(combined.Mean()-stream.Mean()) / math.Abs(stream.Mean()); rel > 1e-12 {
+		t.Fatalf("mean: %g vs %g", combined.Mean(), stream.Mean())
+	}
+	if rel := math.Abs(combined.Variance()-stream.Variance()) / stream.Variance(); rel > 1e-9 {
+		t.Fatalf("variance: %g vs %g", combined.Variance(), stream.Variance())
+	}
+}
+
+func TestAddBlockAllocFree(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	a := NewAccumulator(false)
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Reset(false)
+		a.AddBlock(xs)
+	})
+	if allocs != 0 {
+		t.Errorf("AddBlock allocates %.1f per block, want 0", allocs)
+	}
+}
+
+func BenchmarkAddBlock(b *testing.B) {
+	xs := make([]float64, 1000)
+	r := rng.New(3)
+	for i := range xs {
+		xs[i] = r.StdNormal()
+	}
+	a := NewAccumulator(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Reset(false)
+		a.AddBlock(xs)
+	}
+}
+
+func BenchmarkAddAll1000(b *testing.B) {
+	xs := make([]float64, 1000)
+	r := rng.New(3)
+	for i := range xs {
+		xs[i] = r.StdNormal()
+	}
+	a := NewAccumulator(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Reset(false)
+		a.AddAll(xs)
 	}
 }
