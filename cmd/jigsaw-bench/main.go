@@ -9,6 +9,7 @@
 //	             [-workers N]
 //	jigsaw-bench -json BENCH_sweep.json [-scale quick|paper]
 //	             [-baseline BENCH_sweep.json] [-maxregress 0.20]
+//	jigsaw-bench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The -json mode runs the sweep hot-path micro-benchmark
 // (index × reuse × workers, plus a full-simulation-only row) instead
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"jigsaw/internal/experiments"
@@ -40,8 +42,49 @@ func main() {
 		jsonPath   = flag.String("json", "", "run the sweep hot-path benchmark and write BENCH_sweep.json-style output here")
 		baseline   = flag.String("baseline", "", "compare the -json run against this checked-in BENCH_sweep.json and fail on regression")
 		maxRegress = flag.Float64("maxregress", 0.20, "allowed ns/point regression per cell vs -baseline (0.20 = +20%)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
+
+	// Profiling applies to whichever mode runs below, so hot-path PRs
+	// can profile the exact workload the recorded trajectory measures
+	// (jigsaw-bench -json -cpuprofile cpu.pprof) instead of
+	// hand-rolling a harness. Every exit, error or not, goes through
+	// exit so the profiles are flushed before the process dies.
+	exit := func(code int) {
+		// Stop the CPU profile first: it must be flushed whatever
+		// happens to the heap profile below, and the heap snapshot's
+		// forced GC must not pollute the CPU profile's tail.
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // materialize only live heap in the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		os.Exit(code)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var cfg experiments.Config
 	switch *scale {
@@ -51,7 +94,7 @@ func main() {
 		cfg = experiments.Defaults()
 	default:
 		fmt.Fprintf(os.Stderr, "jigsaw-bench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		exit(2)
 	}
 	if *samples > 0 {
 		cfg.Samples = *samples
@@ -73,12 +116,12 @@ func main() {
 		report, err := experiments.SweepBench(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jigsaw-bench: sweepbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		out, err := os.Create(*jsonPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := report.WriteJSON(out); err == nil {
 			err = out.Close()
@@ -87,7 +130,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		report.Table().Fprint(os.Stdout)
 		fmt.Printf("(sweepbench completed in %v; wrote %s)\n", time.Since(start).Round(time.Millisecond), *jsonPath)
@@ -95,18 +138,18 @@ func main() {
 			f, err := os.Open(*baseline)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			base, err := experiments.ReadSweepBench(f)
 			f.Close()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			regs, err := experiments.CompareSweepBench(report, base, *maxRegress)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "jigsaw-bench: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			if len(regs) > 0 {
 				fmt.Fprintf(os.Stderr, "jigsaw-bench: %d cell(s) regressed more than %.0f%% vs %s:\n",
@@ -114,11 +157,11 @@ func main() {
 				for _, r := range regs {
 					fmt.Fprintf(os.Stderr, "  %s\n", r)
 				}
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Printf("no cell regressed more than %.0f%% vs %s\n", 100**maxRegress, *baseline)
 		}
-		return
+		exit(0)
 	}
 
 	type experiment struct {
@@ -162,13 +205,14 @@ func main() {
 		table, err := e.run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jigsaw-bench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		table.Fprint(os.Stdout)
 		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "jigsaw-bench: unknown experiment %q\n", *which)
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
 }

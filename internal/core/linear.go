@@ -71,13 +71,31 @@ func (c LinearClass) Find(from, to Fingerprint, tol float64) (Mapping, bool) {
 		return nil, false
 	}
 	beta := to[i] - alpha*from[i]
-	// Box the mapping once: the same interface value serves validation
-	// and the return, so a match costs a single allocation.
-	var m Mapping = Linear{Alpha: alpha, Beta: beta}
-	if !Validate(m, from, to, tol) {
+	// Validate on the concrete value and box only a *successful*
+	// mapping, so a rejected candidate costs no allocation. That
+	// matters for wide probes — an array scan over B bases used to box
+	// O(B) rejected mappings per point before finding the match.
+	lin := Linear{Alpha: alpha, Beta: beta}
+	if !validateLinear(lin, from, to, tol) {
 		return nil, false
 	}
-	return m, true
+	return lin, true
+}
+
+// validateLinear is Validate specialized to the concrete Linear type:
+// the same element-wise check (identical arithmetic to Linear.Apply)
+// without an interface conversion, so rejecting a candidate performs
+// no allocation.
+func validateLinear(l Linear, from, to Fingerprint, tol float64) bool {
+	if len(from) != len(to) {
+		return false
+	}
+	for i := range from {
+		if !approxEqual(l.Alpha*from[i]+l.Beta, to[i], tol) {
+			return false
+		}
+	}
+	return true
 }
 
 // ShiftClass restricts discovery to pure translations M(x) = x + β.
@@ -97,13 +115,13 @@ func (ShiftClass) CanMatchConstants() bool { return true }
 func (ShiftClass) Monotone() bool { return true }
 
 // Find parameterizes β from the first entry pair and validates on the
-// rest.
+// rest (concretely, like LinearClass — rejections allocate nothing).
 func (ShiftClass) Find(from, to Fingerprint, tol float64) (Mapping, bool) {
 	if len(from) != len(to) || len(from) == 0 {
 		return nil, false
 	}
-	var m Mapping = Shift(to[0] - from[0])
-	if !Validate(m, from, to, tol) {
+	m := Shift(to[0] - from[0])
+	if !validateLinear(m, from, to, tol) {
 		return nil, false
 	}
 	return m, true

@@ -76,6 +76,12 @@ func (n *NormalizationIndex) ProbeSignatures(fp Fingerprint, buf []uint64) []uin
 	return append(buf, n.key(fp))
 }
 
+// SigCandidates implements Sharder: the signature is the bucket key,
+// so the probe is a single map lookup with no key recomputation.
+func (n *NormalizationIndex) SigCandidates(sig uint64, buf []int) []int {
+	return append(buf, n.buckets[sig]...)
+}
+
 // Key tags distinguishing the two fingerprint shapes, folded into the
 // hash first so a constant fingerprint can never collide with a
 // normal-form one by value alone.

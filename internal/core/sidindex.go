@@ -90,6 +90,13 @@ func (s *SortedSIDIndex) ProbeSignatures(fp Fingerprint, buf []uint64) []uint64 
 	return buf
 }
 
+// SigCandidates implements Sharder: each probe signature is one
+// bucket key (forward or reversed), so the probe is a single map
+// lookup with no re-sorting or rehashing.
+func (s *SortedSIDIndex) SigCandidates(sig uint64, buf []int) []int {
+	return append(buf, s.buckets[sig]...)
+}
+
 // sidStackLen is the fingerprint length up to which key computation
 // runs entirely on the stack. Fingerprints are short (the paper uses
 // m = 10); longer ones fall back to a heap scratch.

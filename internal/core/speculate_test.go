@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Tests for the speculative match surface: MatchSpeculative must agree
+// with MatchWhereBuf against an unchanged store, ViewCurrent must
+// detect exactly the insertions that could invalidate a speculation,
+// and SigCandidates must enumerate the same candidates Candidates
+// does (it is the store's no-rehash probe path).
+
+// specIndexes enumerates the index strategies under test, fresh per
+// call.
+func specIndexes() map[string]func() Index {
+	return map[string]func() Index{
+		"array": func() Index { return NewArrayIndex() },
+		"norm":  func() Index { return NewNormalizationIndex(6, DefaultTolerance) },
+		"sid":   func() Index { return NewSortedSIDIndex(DefaultTolerance, true) },
+	}
+}
+
+// specFamily returns the k-th member of an affine family derived from
+// base: alternating-sign α so the SortedSID index exercises both the
+// forward and reversed probe.
+func specFamily(base Fingerprint, k int) Fingerprint {
+	alpha := 1.0 + 0.5*float64(k)
+	if k%2 == 1 {
+		alpha = -alpha
+	}
+	beta := 3.0 * float64(k)
+	out := make(Fingerprint, len(base))
+	for i, v := range base {
+		out[i] = alpha*v + beta
+	}
+	return out
+}
+
+func specBase(seed float64) Fingerprint {
+	base := make(Fingerprint, 10)
+	for i := range base {
+		base[i] = seed + float64(i*i)*0.37 + float64(i)*seed*0.11
+	}
+	return base
+}
+
+func TestMatchSpeculativeAgreesWithMatchWhereBuf(t *testing.T) {
+	for name, mk := range specIndexes() {
+		t.Run(name, func(t *testing.T) {
+			s := NewStore(LinearClass{}, mk(), 0)
+			baseA, baseB := specBase(1.0), specBase(-7.3)
+			for k := 0; k < 3; k++ {
+				if _, err := s.Add(specFamily(baseA, k), fmt.Sprintf("a%d", k), k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.Add(specFamily(baseB, 0), "b0", 99); err != nil {
+				t.Fatal(err)
+			}
+
+			probes := []Fingerprint{
+				specFamily(baseA, 7),  // hit, α>0
+				specFamily(baseA, 8),  // hit
+				specFamily(baseB, 3),  // hit in the second family, α<0
+				specBase(42.0),        // miss
+				make(Fingerprint, 10), // constant zero probe
+			}
+			var sc ProbeScratch
+			for pi, probe := range probes {
+				before := s.Stats()
+				var view MatchView
+				sb, sm, sok := s.MatchSpeculative(probe, nil, &sc, &view)
+				if mid := s.Stats(); mid != before {
+					t.Fatalf("probe %d: MatchSpeculative moved store counters: %+v -> %+v", pi, before, mid)
+				}
+				if !s.ViewCurrent(&view) {
+					t.Fatalf("probe %d: view stale immediately after speculation", pi)
+				}
+				wb, wm, wok := s.MatchWhereBuf(probe, nil, &sc)
+				if sok != wok || sb != wb || fmt.Sprint(sm) != fmt.Sprint(wm) {
+					t.Fatalf("probe %d: speculative (%v,%v,%v) != direct (%v,%v,%v)",
+						pi, sb, sm, sok, wb, wm, wok)
+				}
+				after := s.Stats()
+				if got, want := int64(after.CandidatesScanned-before.CandidatesScanned), view.ScannedTotal(); got != want {
+					t.Fatalf("probe %d: view recorded %d scans, MatchWhereBuf scanned %d", pi, want, got)
+				}
+				if sok != (view.HitProbe() >= 0) {
+					t.Fatalf("probe %d: ok=%v but HitProbe=%d", pi, sok, view.HitProbe())
+				}
+			}
+		})
+	}
+}
+
+func TestViewCurrentDetectsRelatedInsert(t *testing.T) {
+	for name, mk := range specIndexes() {
+		t.Run(name, func(t *testing.T) {
+			s := NewStore(LinearClass{}, mk(), 0)
+			baseA, baseB := specBase(1.0), specBase(-7.3)
+			if _, err := s.Add(specFamily(baseA, 0), "a0", 0); err != nil {
+				t.Fatal(err)
+			}
+
+			probe := specFamily(baseA, 5)
+			var sc ProbeScratch
+			var view MatchView
+			if _, _, ok := s.MatchSpeculative(probe, nil, &sc, &view); !ok {
+				t.Fatal("probe did not match its family")
+			}
+
+			// An insert in an unrelated family lands in another shard
+			// (when the masked signatures differ) and must not
+			// invalidate the view on sharded stores; the array index
+			// has a single bucket, so any insert invalidates.
+			if _, err := s.Add(specFamily(baseB, 0), "b0", 1); err != nil {
+				t.Fatal(err)
+			}
+			sigA, shardedA := s.InsertSignature(specFamily(baseA, 1))
+			sigB, _ := s.InsertSignature(specFamily(baseB, 1))
+			if !shardedA {
+				if s.ViewCurrent(&view) {
+					t.Fatal("unsharded store: insert did not invalidate the view")
+				}
+			} else if sigA%uint64(s.Shards()) != sigB%uint64(s.Shards()) && !s.ViewCurrent(&view) {
+				t.Fatal("sharded store: unrelated-shard insert invalidated the view")
+			}
+
+			// An insert in the probed family always invalidates.
+			if _, err := s.Add(specFamily(baseA, 2), "a2", 2); err != nil {
+				t.Fatal(err)
+			}
+			if s.ViewCurrent(&view) {
+				t.Fatal("related insert left the view current")
+			}
+		})
+	}
+}
+
+func TestViewStaticProbes(t *testing.T) {
+	// Under a class that rejects constants, a constant probe is decided
+	// without consulting the index: the view is static and stays
+	// current across any insertion.
+	s := NewStore(LinearClass{StrictConstants: true}, NewNormalizationIndex(6, DefaultTolerance), 0)
+	if _, err := s.Add(specBase(1.0), "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	constant := make(Fingerprint, 10)
+	for i := range constant {
+		constant[i] = 4.5
+	}
+	var view MatchView
+	if _, _, ok := s.MatchSpeculative(constant, nil, nil, &view); ok {
+		t.Fatal("constant probe matched under StrictConstants")
+	}
+	if !view.Static() {
+		t.Fatal("constant probe did not produce a static view")
+	}
+	if _, err := s.Add(specBase(2.0), "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.ViewCurrent(&view) {
+		t.Fatal("static view invalidated by insert")
+	}
+}
+
+func TestSigCandidatesMatchesCandidates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Sharder
+	}{
+		{"norm", func() Sharder { return NewNormalizationIndex(6, DefaultTolerance) }},
+		{"sid", func() Sharder { return NewSortedSIDIndex(DefaultTolerance, true) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			idx := tc.mk()
+			baseA, baseB := specBase(1.0), specBase(-7.3)
+			id := 0
+			for k := 0; k < 4; k++ {
+				idx.Insert(id, specFamily(baseA, k))
+				id++
+				idx.Insert(id, specFamily(baseB, k))
+				id++
+			}
+			for _, probe := range []Fingerprint{
+				specFamily(baseA, 9), specFamily(baseB, 6), specBase(3.3),
+			} {
+				direct := idx.Candidates(probe, nil)
+				var bySig []int
+				for _, sig := range idx.ProbeSignatures(probe, nil) {
+					bySig = idx.SigCandidates(sig, bySig)
+				}
+				if fmt.Sprint(direct) != fmt.Sprint(bySig) {
+					t.Fatalf("probe candidates diverge: Candidates=%v, SigCandidates=%v", direct, bySig)
+				}
+			}
+		})
+	}
+}

@@ -35,6 +35,18 @@ const storeShardCount = 32
 type storeShard struct {
 	mu    sync.RWMutex
 	index Index
+	// sharder is index's Sharder capability, asserted once at
+	// construction (nil for unsharded stores) so the probe path does
+	// not re-assert per signature.
+	sharder Sharder
+	// epoch counts the basis insertions this shard has absorbed. A
+	// speculative match records the epochs of the shards it probed; an
+	// unchanged epoch at commit time proves the shard's candidate
+	// lists are exactly what the speculation scanned, so the
+	// speculative outcome can be committed without re-probing. The
+	// counter is written under mu and read without it (see
+	// ViewCurrent), hence atomic.
+	epoch atomic.Uint64
 }
 
 // Store maintains the incrementally growing set of basis distributions
@@ -96,8 +108,11 @@ func NewStore(class MappingClass, index Index, tol float64) *Store {
 		s.sharder = sh
 		s.shards = make([]storeShard, storeShardCount)
 		s.shards[0].index = index
+		s.shards[0].sharder = sh
 		for i := 1; i < storeShardCount; i++ {
-			s.shards[i].index = sh.Fork()
+			fork := sh.Fork()
+			s.shards[i].index = fork
+			s.shards[i].sharder = fork.(Sharder)
 		}
 	} else {
 		s.shards = []storeShard{{index: index}}
@@ -181,18 +196,135 @@ func (s *Store) Add(fp Fingerprint, label string, payload any) (*Basis, error) {
 	}
 	sh.mu.Lock()
 	sh.index.Insert(b.ID, b.Fingerprint)
+	sh.epoch.Add(1)
 	sh.mu.Unlock()
 	return b, nil
 }
 
+// InsertSignature reports the index signature under which Add files
+// fp — the key a speculative-commit loop needs to track its own
+// registrations per probe bucket. ok is false when the index does not
+// shard (every insertion then lands in the store's single implicit
+// bucket).
+func (s *Store) InsertSignature(fp Fingerprint) (sig uint64, ok bool) {
+	if s.sharder == nil {
+		return 0, false
+	}
+	return s.sharder.InsertSignature(fp), true
+}
+
+// Sharded reports whether the index routes fingerprints by signature
+// (see Sharder); unsharded stores treat the whole index as one probe
+// bucket.
+func (s *Store) Sharded() bool { return s.sharder != nil }
+
 // ProbeScratch carries a caller's reusable probe buffers: candidate
-// ids and shard signatures. A zero value is ready to use; after the
-// first probe the buffers are warm and subsequent probes through the
-// same scratch allocate nothing. A ProbeScratch must not be shared
-// between concurrent Match callers — keep one per worker.
+// ids, shard signatures, and per-probe group boundaries. A zero value
+// is ready to use; after the first probe the buffers are warm and
+// subsequent probes through the same scratch allocate nothing. A
+// ProbeScratch must not be shared between concurrent Match callers —
+// keep one per worker.
 type ProbeScratch struct {
 	ids  []int
 	sigs []uint64
+	// ends[j] is the end offset in ids of probe group j: candidates
+	// are collected per probe signature (per index for unsharded
+	// stores), and the speculative commit needs to know which group a
+	// hit came from.
+	ends []int
+}
+
+// matchViewProbes is the number of probe groups a MatchView can track
+// inline. The built-in sharders probe at most two signatures
+// (SortedSID: forward and reversed); an exotic index exceeding this
+// marks the view overflowed, and commit falls back to a full
+// re-match.
+const matchViewProbes = 3
+
+// MatchView records what a speculative match observed: the signatures
+// it probed, the insertion epoch of each probed shard, and how many
+// candidates per probe group survived the accept filter and reached
+// mapping discovery. A commit loop uses it to decide in O(1) whether
+// the speculation still reflects the store (ViewCurrent) and, if not,
+// to replay only the candidates the speculation never saw — new
+// insertions append to probe buckets, so the speculation's scan is a
+// per-bucket prefix of the commit-time scan.
+type MatchView struct {
+	sigs    [matchViewProbes]uint64
+	epochs  [matchViewProbes]uint64
+	scanned [matchViewProbes]uint32
+	nprobes int8
+	hit     int8
+	flags   uint8
+}
+
+const (
+	// viewStatic marks a miss decided from the probe fingerprint alone
+	// (length mismatch, constant probe under a class that rejects
+	// constants): no index state was consulted, so the outcome can
+	// never be invalidated.
+	viewStatic = 1 << iota
+	// viewOverflow marks a probe with more signatures than the view
+	// tracks; commit must re-match from scratch.
+	viewOverflow
+)
+
+// Probes returns the number of probe groups the view tracks.
+func (v *MatchView) Probes() int { return int(v.nprobes) }
+
+// Sig returns probe group j's signature (meaningless for unsharded
+// stores, which have a single untagged group).
+func (v *MatchView) Sig(j int) uint64 { return v.sigs[j] }
+
+// ScannedIn returns the number of candidates in probe group j that
+// reached mapping discovery during the speculation — all of which
+// failed, except the last one of the hit group.
+func (v *MatchView) ScannedIn(j int) int { return int(v.scanned[j]) }
+
+// ScannedTotal sums ScannedIn over all probe groups.
+func (v *MatchView) ScannedTotal() int64 {
+	var t int64
+	for j := 0; j < int(v.nprobes); j++ {
+		t += int64(v.scanned[j])
+	}
+	return t
+}
+
+// HitProbe returns the probe group the speculative hit came from, or
+// -1 for a miss.
+func (v *MatchView) HitProbe() int { return int(v.hit) }
+
+// Static reports whether the outcome was decided without consulting
+// the index (see viewStatic); such an outcome commits verbatim.
+func (v *MatchView) Static() bool { return v.flags&viewStatic != 0 }
+
+// Overflow reports whether the probe exceeded the view's capacity;
+// the speculation is then unusable and commit must re-match.
+func (v *MatchView) Overflow() bool { return v.flags&viewOverflow != 0 }
+
+// ViewCurrent reports whether every shard the view's probes touched
+// is still at the epoch the speculative match observed. True means no
+// basis has been inserted into any probed shard since: the candidate
+// lists are bit-identical to what the speculation scanned, so its
+// outcome (and per-group scan counts) are exactly what a fresh match
+// would produce now. Static views are always current; overflowed
+// views never are.
+func (s *Store) ViewCurrent(v *MatchView) bool {
+	if v.flags&viewStatic != 0 {
+		return true
+	}
+	if v.flags&viewOverflow != 0 {
+		return false
+	}
+	if s.sharder == nil {
+		return s.shards[0].epoch.Load() == v.epochs[0]
+	}
+	for j := 0; j < int(v.nprobes); j++ {
+		if s.shardFor(v.sigs[j]).epoch.Load() != v.epochs[j] {
+			return false
+		}
+	}
+	return true
 }
 
 // Match searches for a basis distribution whose fingerprint the
@@ -223,84 +355,172 @@ func (s *Store) MatchWhere(fp Fingerprint, accept func(*Basis) bool) (basis *Bas
 // candidates).
 func (s *Store) MatchWhereBuf(fp Fingerprint, accept func(*Basis) bool, scratch *ProbeScratch) (basis *Basis, mapping Mapping, ok bool) {
 	s.queries.Add(1)
+	basis, mapping, ok, scanned := s.matchInto(fp, accept, scratch, nil)
+	if scanned != 0 {
+		s.scanned.Add(scanned)
+	}
+	if ok {
+		s.hits.Add(1)
+	}
+	return basis, mapping, ok
+}
+
+// MatchSpeculative is the parallel-sweep form of MatchWhereBuf: it
+// runs the full probe — signatures, candidate collection, mapping
+// discovery — against the store's current state, records what it
+// observed in view, and touches none of the store's query counters
+// (the work is speculative; whoever commits it accounts for it, see
+// RecordMatches). The caller revalidates the outcome later with
+// ViewCurrent: if the probed shards' epochs are unchanged, the
+// returned (basis, mapping, ok) is exactly what MatchWhereBuf would
+// return at that moment; if not, new candidates appended to the
+// probed buckets since the speculation — and only those — must be
+// replayed, in probe-group order, with earlier groups' appendices
+// taking precedence over a later group's speculative hit.
+//
+// The accept filter must be stable for the bases that existed at
+// speculation time — a basis it rejects must stay rejected — for the
+// replay to be exact; the engine's payload-readiness filter is stable
+// in any single sweep. Under concurrent foreign writers an unstable
+// accept costs at most a missed reuse (a redundant simulation), never
+// a wrong answer.
+func (s *Store) MatchSpeculative(fp Fingerprint, accept func(*Basis) bool, scratch *ProbeScratch, view *MatchView) (basis *Basis, mapping Mapping, ok bool) {
+	basis, mapping, ok, _ = s.matchInto(fp, accept, scratch, view)
+	return basis, mapping, ok
+}
+
+// RecordMatches merges externally tracked probe counters into the
+// store's statistics. The sweep's commit loop replays speculative
+// matches without calling MatchWhereBuf, accumulates the counts a
+// sequential sweep would have produced, and flushes them here once —
+// so SweepStats stay bit-identical to the sequential path without a
+// per-point atomic round trip.
+func (s *Store) RecordMatches(queries, hits, scanned int64) {
+	if queries != 0 {
+		s.queries.Add(queries)
+	}
+	if hits != 0 {
+		s.hits.Add(hits)
+	}
+	if scanned != 0 {
+		s.scanned.Add(scanned)
+	}
+}
+
+// matchInto is the shared match implementation: collect candidates
+// per probe group, then run mapping discovery in group order against
+// one snapshot of the basis list. A non-nil view additionally records
+// the probe signatures, shard epochs and per-group scan counts for
+// speculative commit. scanned reports the number of mapping-discovery
+// attempts (the CandidatesScanned statistic).
+func (s *Store) matchInto(fp Fingerprint, accept func(*Basis) bool, scratch *ProbeScratch, view *MatchView) (basis *Basis, mapping Mapping, ok bool, scanned int64) {
+	if view != nil {
+		*view = MatchView{hit: -1}
+	}
 	s.mu.RLock()
 	fpLen := s.fpLen
 	s.mu.RUnlock()
 	if fpLen != 0 && len(fp) != fpLen {
-		return nil, nil, false
+		if view != nil {
+			view.flags |= viewStatic
+		}
+		return nil, nil, false, 0
 	}
 	// A constant probe cannot match under a class that rejects
 	// constants; skip the candidate scan (boolean-output models
 	// produce mostly constant fingerprints, which would otherwise
 	// pile into one bucket and turn every probe into a full scan).
 	if !s.class.CanMatchConstants() && fp.IsConstant(s.tol) {
-		return nil, nil, false
+		if view != nil {
+			view.flags |= viewStatic
+		}
+		return nil, nil, false, 0
 	}
 	if scratch == nil {
 		scratch = &ProbeScratch{}
 	}
 
-	// Collect candidate ids shard by shard, then resolve them against
-	// one snapshot of the basis list. Every id in an index was
-	// appended to bases before its Insert (program order in Add), and
-	// the shard lock's release/acquire pairing publishes that append,
-	// so every candidate id resolves in the snapshot.
+	// Collect candidate ids per probe group — one group per probe
+	// signature, or the whole index for unsharded stores — then
+	// resolve them against one snapshot of the basis list. Every id in
+	// an index was appended to bases before its Insert (program order
+	// in Add), and the shard lock's release/acquire pairing publishes
+	// that append, so every candidate id resolves in the snapshot.
+	// Shard epochs are read under the same RLock as the candidate
+	// fetch, so a view's (epoch, candidates) pair is consistent.
 	ids := scratch.ids[:0]
+	ends := scratch.ends[:0]
+	nprobes := 0
 	if s.sharder == nil {
 		sh := &s.shards[0]
 		sh.mu.RLock()
+		if view != nil {
+			view.epochs[0] = sh.epoch.Load()
+		}
 		ids = sh.index.Candidates(fp, ids)
 		sh.mu.RUnlock()
+		ends = append(ends, len(ids))
+		nprobes = 1
 	} else {
 		sigs := s.sharder.ProbeSignatures(fp, scratch.sigs[:0])
 		scratch.sigs = sigs
-		// Dedupe shard pointers on the stack: two signatures may route
-		// to the same shard, whose bucket must only be scanned once.
-		var seenArr [4]*storeShard
-		seen := seenArr[:0]
 		for _, sig := range sigs {
 			sh := s.shardFor(sig)
-			dup := false
-			for _, prev := range seen {
-				if prev == sh {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			seen = append(seen, sh)
 			sh.mu.RLock()
-			ids = sh.index.Candidates(fp, ids)
+			epoch := sh.epoch.Load()
+			ids = sh.sharder.SigCandidates(sig, ids)
 			sh.mu.RUnlock()
+			if view != nil && nprobes < matchViewProbes {
+				view.sigs[nprobes] = sig
+				view.epochs[nprobes] = epoch
+			}
+			ends = append(ends, len(ids))
+			nprobes++
+		}
+		if view != nil && nprobes > matchViewProbes {
+			view.flags |= viewOverflow
+			nprobes = matchViewProbes
 		}
 	}
 	scratch.ids = ids
+	scratch.ends = ends
+	if view != nil {
+		view.nprobes = int8(nprobes)
+	}
 	if len(ids) == 0 {
-		return nil, nil, false
+		return nil, nil, false, 0
 	}
 
 	s.mu.RLock()
 	bases := s.bases[:len(s.bases):len(s.bases)]
 	s.mu.RUnlock()
-	scanned := int64(0)
-	defer func() { s.scanned.Add(scanned) }()
-	for _, id := range ids {
-		if id < 0 || id >= len(bases) {
-			continue
+	lo := 0
+	for j, end := range ends {
+		group := int64(0)
+		for _, id := range ids[lo:end] {
+			if id < 0 || id >= len(bases) {
+				continue
+			}
+			b := bases[id]
+			if accept != nil && !accept(b) {
+				continue
+			}
+			group++
+			scanned++
+			if m, found := s.class.Find(b.Fingerprint, fp, s.tol); found {
+				if view != nil && j < matchViewProbes {
+					view.scanned[j] = uint32(group)
+					view.hit = int8(j)
+				}
+				return b, m, true, scanned
+			}
 		}
-		b := bases[id]
-		if accept != nil && !accept(b) {
-			continue
+		if view != nil && j < matchViewProbes {
+			view.scanned[j] = uint32(group)
 		}
-		scanned++
-		if m, found := s.class.Find(b.Fingerprint, fp, s.tol); found {
-			s.hits.Add(1)
-			return b, m, true
-		}
+		lo = end
 	}
-	return nil, nil, false
+	return nil, nil, false, scanned
 }
 
 // Stats describes the store's reuse behavior; the experiment harness

@@ -47,12 +47,18 @@ type SweepBenchResult struct {
 
 // SweepBenchReport is the BENCH_sweep.json payload.
 type SweepBenchReport struct {
-	// GoVersion, GOOS, GOARCH and GOMAXPROCS describe the measuring
-	// machine; absolute numbers are only comparable within one.
+	// GoVersion, GOOS, GOARCH, GOMAXPROCS and NumCPU describe the
+	// measuring machine; absolute numbers are only comparable within
+	// one. GOMAXPROCS is always ≥ the widest workers column (SweepBench
+	// raises it if needed), so NumCPU is the honest ceiling on how much
+	// real parallelism the workers>1 cells could have seen: with
+	// NumCPU < workers those cells measure pipeline overhead under
+	// time-slicing, not speedup.
 	GoVersion  string `json:"go_version"`
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
 	// Samples and FingerprintLen are the engine's n and m.
 	Samples        int `json:"samples"`
 	FingerprintLen int `json:"fingerprint_len"`
@@ -66,6 +72,88 @@ type SweepBenchReport struct {
 // recorded cell names are machine-independent, modest enough that the
 // pool oversubscribes gracefully on small machines.
 const benchParallelWorkers = 4
+
+// manyBasesFamilies and manyBasesPoints shape the many-bases rows: 64
+// distinct fingerprint families (SynthBasis classes) spread over 2048
+// points, i.e. a 96.9% reuse rate with basis registrations scattered
+// through the first 64 commit steps instead of only at sweep start.
+const (
+	manyBasesFamilies = 64
+	manyBasesPoints   = 2048
+)
+
+// cellProcs is the GOMAXPROCS a cell's measurement runs under: the
+// cell's worker count, so sequential cells keep the paper's
+// single-threaded scheduler (comparable across machines and with the
+// recorded history) and parallel cells get the threads their pool
+// needs.
+func cellProcs(workers int) int {
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// mustRange builds a param.Range, surfacing construction errors as
+// panics (the inputs are compile-time constants).
+func mustRange(name string, lo, hi, step float64) param.Decl {
+	d, err := param.Range(name, lo, hi, step)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// measureSweepCell benchmarks one grid cell: an un-timed sweep
+// reports the reuse rate, then the engine is rebuilt per iteration so
+// every timed sweep starts from an empty store (what a fresh sweep
+// costs, not a warmed one).
+func measureSweepCell(name string, opts mc.Options, ev mc.PointEval, space *param.Space) (SweepBenchResult, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(cellProcs(opts.Workers)))
+	eng, err := mc.New(opts)
+	if err != nil {
+		return SweepBenchResult{}, err
+	}
+	if _, _, err := eng.Sweep(ev, space); err != nil {
+		return SweepBenchResult{}, err
+	}
+	st := eng.Stats(space.Size())
+	reuseRate := 0.0
+	if st.Points > 0 {
+		reuseRate = float64(st.Reused) / float64(st.Points)
+	}
+
+	var sweepErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng, err := mc.New(opts)
+			if err != nil {
+				sweepErr = err
+				return
+			}
+			if _, _, err := eng.Sweep(ev, space); err != nil {
+				sweepErr = err
+				return
+			}
+		}
+	})
+	if sweepErr != nil {
+		return SweepBenchResult{}, sweepErr
+	}
+	points := float64(space.Size())
+	return SweepBenchResult{
+		Name:           name,
+		Index:          opts.Index.String(),
+		Reuse:          opts.Reuse,
+		Workers:        opts.Workers,
+		Points:         space.Size(),
+		NsPerPoint:     float64(res.NsPerOp()) / points,
+		AllocsPerPoint: float64(res.AllocsPerOp()) / points,
+		BytesPerPoint:  float64(res.AllocedBytesPerOp()) / points,
+		ReuseRate:      reuseRate,
+	}, nil
+}
 
 // sweepBenchSpace is the benchmark workload: the paper's Demand model
 // over a (week × release) grid — the reuse-heavy shape Fig. 8 leads
@@ -106,6 +194,23 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 	}
 	workerGrid := []int{1, parallelWorkers}
 
+	// Every cell runs at the GOMAXPROCS its worker count needs: a
+	// workers=N cell measured below N schedulable threads (the seed
+	// trajectory was recorded at gomaxprocs=1!) is silently a
+	// time-sliced rerun of the sequential path plus coordination
+	// overhead, while a workers=1 cell measured at GOMAXPROCS>1 on a
+	// small machine donates part of its only core to idle scheduler
+	// and GC workers — so each measurement pins the scheduler to its
+	// own cell's width (measureSweepCell) and the report records the
+	// widest setting. Setting GOMAXPROCS cannot fail (the runtime
+	// accepts any positive value), so the failure mode that remains
+	// is *hardware* that cannot host the column: NumCPU lands in the
+	// report and the rendered table carries a loud warning whenever
+	// NumCPU < workers, so oversubscribed time-slicing can never pass
+	// silently for real scaling.
+	prevProcs := runtime.GOMAXPROCS(parallelWorkers)
+	defer runtime.GOMAXPROCS(prevProcs)
+
 	// The full index × reuse grid: reuse=false cells measure the
 	// full-simulation (cold) path — the index is irrelevant to the
 	// work done but recorded so the trajectory covers every
@@ -129,6 +234,7 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
 		Samples:        cfg.Samples,
 		FingerprintLen: cfg.FingerprintLen,
 		Points:         space.Size(),
@@ -141,54 +247,39 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 				MasterSeed: cfg.MasterSeed, Reuse: c.reuse, Index: c.index,
 				Workers: workers,
 			}
-			// One un-timed sweep reports the reuse rate; the engine is
-			// then rebuilt per iteration so every timed sweep starts
-			// from an empty store (what a fresh sweep costs, not a
-			// warmed one).
-			eng, err := mc.New(opts)
+			name := fmt.Sprintf("sweep/index=%s/reuse=%t/workers=%d",
+				c.index, c.reuse, workers)
+			cell, err := measureSweepCell(name, opts, ev, space)
 			if err != nil {
 				return nil, err
 			}
-			if _, _, err := eng.Sweep(ev, space); err != nil {
+			report.Results = append(report.Results, cell)
+		}
+	}
+
+	// The many-bases rows: SynthBasis with manyBasesFamilies distinct
+	// fingerprint families over a reuse-heavy point grid. The Demand
+	// grid above accumulates only ~2 bases, so the naive array scan is
+	// competitive and index pruning invisible; these rows are where a
+	// hash index must beat ArrayIndex's O(bases) probe, and where the
+	// sweep's commit loop sees registrations throughout the sweep
+	// rather than only at the start.
+	manySpace := param.MustSpace(mustRange("point_index", 0, float64(manyBasesPoints-1), 1))
+	manyEv := mc.MustBindBox(blackbox.NewSynthBasis(manyBasesFamilies), "point_index")
+	for _, c := range []mc.IndexKind{mc.IndexArray, mc.IndexNormalization, mc.IndexSortedSID} {
+		for _, workers := range workerGrid {
+			opts := mc.Options{
+				Samples: cfg.Samples, FingerprintLen: cfg.FingerprintLen,
+				MasterSeed: cfg.MasterSeed, Reuse: true, Index: c,
+				Workers: workers,
+			}
+			name := fmt.Sprintf("sweep/index=%s/reuse=true/bases=%d/workers=%d",
+				c, manyBasesFamilies, workers)
+			cell, err := measureSweepCell(name, opts, manyEv, manySpace)
+			if err != nil {
 				return nil, err
 			}
-			st := eng.Stats(space.Size())
-			reuseRate := 0.0
-			if st.Points > 0 {
-				reuseRate = float64(st.Reused) / float64(st.Points)
-			}
-
-			var sweepErr error
-			res := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					eng, err := mc.New(opts)
-					if err != nil {
-						sweepErr = err
-						return
-					}
-					if _, _, err := eng.Sweep(ev, space); err != nil {
-						sweepErr = err
-						return
-					}
-				}
-			})
-			if sweepErr != nil {
-				return nil, sweepErr
-			}
-			points := float64(space.Size())
-			report.Results = append(report.Results, SweepBenchResult{
-				Name: fmt.Sprintf("sweep/index=%s/reuse=%t/workers=%d",
-					c.index, c.reuse, workers),
-				Index:          c.index.String(),
-				Reuse:          c.reuse,
-				Workers:        workers,
-				Points:         space.Size(),
-				NsPerPoint:     float64(res.NsPerOp()) / points,
-				AllocsPerPoint: float64(res.AllocsPerOp()) / points,
-				BytesPerPoint:  float64(res.AllocedBytesPerOp()) / points,
-				ReuseRate:      reuseRate,
-			})
+			report.Results = append(report.Results, cell)
 		}
 	}
 
@@ -199,9 +290,9 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 	// is emitted only when the engine will actually take its parallel
 	// branch; at smaller scales it would silently re-measure the
 	// sequential path under a parallel label.
-	fullsimGrid := workerGrid
-	if cfg.Samples-cfg.FingerprintLen < mc.MinParallelSamples {
-		fullsimGrid = []int{1}
+	fullsimGrid := []int{1}
+	if mc.FullSimFanout(parallelWorkers, cfg.Samples, cfg.FingerprintLen) > 1 {
+		fullsimGrid = workerGrid
 	}
 	for _, workers := range fullsimGrid {
 		opts := mc.Options{
@@ -213,6 +304,7 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 			return nil, err
 		}
 		p := param.Point{"current_week": float64(cfg.Weeks / 2), "feature_release": float64(cfg.Weeks / 4)}
+		procs := runtime.GOMAXPROCS(cellProcs(workers))
 		eng.EvaluatePoint(ev, p) // warm the scratch pool
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -220,6 +312,7 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 				eng.EvaluatePoint(ev, p)
 			}
 		})
+		runtime.GOMAXPROCS(procs)
 		report.Results = append(report.Results, SweepBenchResult{
 			Name:           fmt.Sprintf("fullsim/workers=%d", workers),
 			Index:          "none",
@@ -321,9 +414,20 @@ func (r *SweepBenchReport) Table() *Table {
 		Title:   "Sweep hot path (BENCH_sweep)",
 		Columns: []string{"cell", "points", "ns/point", "allocs/point", "B/point", "reuse"},
 		Notes: []string{
-			fmt.Sprintf("%s %s/%s GOMAXPROCS=%d samples=%d m=%d",
-				r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS, r.Samples, r.FingerprintLen),
+			fmt.Sprintf("%s %s/%s GOMAXPROCS=%d NumCPU=%d samples=%d m=%d",
+				r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS, r.NumCPU, r.Samples, r.FingerprintLen),
 		},
+	}
+	maxWorkers := 0
+	for _, c := range r.Results {
+		if c.Workers > maxWorkers {
+			maxWorkers = c.Workers
+		}
+	}
+	if r.NumCPU > 0 && r.NumCPU < maxWorkers {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"WARNING: NumCPU=%d < workers=%d — the parallel cells measure time-sliced scheduling, not real parallelism",
+			r.NumCPU, maxWorkers))
 	}
 	for _, c := range r.Results {
 		t.Rows = append(t.Rows, []string{

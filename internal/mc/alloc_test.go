@@ -21,6 +21,9 @@ import (
 const reusedPointAllocBudget = 8
 
 func TestEvaluatePointReusedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector (sync.Pool drops puts)")
+	}
 	e := MustNew(Options{
 		Samples: 1000, FingerprintLen: 10, MasterSeed: 0x5161,
 		Reuse: true, Index: IndexNormalization, Workers: 1,
@@ -43,6 +46,9 @@ func TestEvaluatePointReusedAllocs(t *testing.T) {
 }
 
 func TestFullSimulationScratchReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector (sync.Pool drops puts)")
+	}
 	// Without sample retention, the block-pipeline cold path must be
 	// allocation-free at steady state: sample blocks, seed blocks,
 	// bound arguments and the accumulator all come from pooled
@@ -63,6 +69,9 @@ func TestFullSimulationScratchReuse(t *testing.T) {
 }
 
 func TestFullSimulationWorkersPooledScratch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector (sync.Pool drops puts)")
+	}
 	// The workers > 1 full-simulation branch routes every goroutine
 	// through the engine's scratch pool: no per-goroutine argument
 	// buffers, seed slices or sample staging. The remaining budget is

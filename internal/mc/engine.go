@@ -220,12 +220,40 @@ type Options struct {
 // that a block's seeds and samples stay L1-resident (4 KiB together).
 const DefaultBlockSize = 256
 
-// MinParallelSamples is the smallest post-fingerprint sample count
-// for which a lone EvaluatePoint with Workers > 1 spreads its rounds
-// over goroutines; below it the spawn overhead dwarfs the work and
-// the engine stays sequential. Exported so benchmarks can tell which
-// branch a configuration exercises.
-const MinParallelSamples = 256
+// MinSamplesPerWorker is the smallest number of post-fingerprint
+// samples worth handing one extra goroutine in a lone EvaluatePoint
+// with Workers > 1: the fan-out is clamped so every worker draws at
+// least this many, and small simulations (fewer than twice this)
+// skip goroutine spawning entirely — below that the per-goroutine
+// spawn and scratch-checkout overhead measurably exceeds the work
+// (the paper-scale n=1000 point was *slower* at Workers=4 than
+// sequential before the clamp). Exported so benchmark harnesses can
+// tell which branch a configuration exercises (see FullSimFanout).
+const MinSamplesPerWorker = 512
+
+// fullSimWorkers clamps a full simulation's fan-out to the number of
+// workers that still get MinSamplesPerWorker samples each; 1 means
+// the sequential path.
+func fullSimWorkers(workers, rest int) int {
+	if byWork := rest / MinSamplesPerWorker; workers > byWork {
+		workers = byWork
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// FullSimFanout reports the number of goroutines a lone EvaluatePoint
+// at the given scale actually spreads its samples across — 1 means
+// the sequential path. Benchmark harnesses use it to avoid recording
+// a sequential measurement under a parallel label.
+func FullSimFanout(workers, samples, fingerprintLen int) int {
+	if workers <= 1 {
+		return 1
+	}
+	return fullSimWorkers(workers, samples-fingerprintLen)
+}
 
 // withDefaults returns a copy with unset fields defaulted.
 func (o Options) withDefaults() Options {
@@ -549,7 +577,7 @@ func (e *Engine) fullSimulation(f PointEval, p param.Point, fp core.Fingerprint,
 	copy(samples, fp)
 	rest := samples[len(fp):]
 
-	if workers > 1 && len(rest) >= MinParallelSamples {
+	if workers = fullSimWorkers(workers, len(rest)); workers > 1 {
 		var wg sync.WaitGroup
 		chunk := (len(rest) + workers - 1) / workers
 		for w := 0; w < workers; w++ {

@@ -1,0 +1,322 @@
+package mc
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/core"
+	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
+)
+
+// Tests for the speculative sweep pipeline beyond determinism (which
+// TestSweepParallelDeterminism pins): cancellation in every phase
+// leaves the engine and store reusable, speculation adds no per-point
+// steady-state allocations, and small full simulations skip the
+// goroutine fan-out. The serial-section benchmarks at the bottom
+// measure the commit loop's per-point cost against the full match it
+// replaced.
+
+// cancelAfterEval wraps an evaluator and cancels a context on the
+// k-th model evaluation, steering the cancellation into a chosen
+// sweep phase by choosing k (fingerprints are evaluations n·m and
+// earlier; phase B's validation draws and inline completions, then
+// phase C1's full simulations, follow).
+type cancelAfterEval struct {
+	inner  PointEval
+	at     int64
+	count  atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterEval) EvalPoint(p param.Point, r *rng.Rand) float64 {
+	if c.count.Add(1) == c.at {
+		c.cancel()
+	}
+	return c.inner.EvalPoint(p, r)
+}
+
+// countEvals runs one full sweep with a counting wrapper and reports
+// the total number of model evaluations it performs.
+func countEvals(t *testing.T, opts Options, space *param.Space) int64 {
+	t.Helper()
+	eng := MustNew(opts)
+	ce := &cancelAfterEval{inner: MustBindBox(blackbox.NewDemand(), "current_week", "feature_release"), at: -1, cancel: func() {}}
+	if _, _, err := eng.Sweep(ce, space); err != nil {
+		t.Fatal(err)
+	}
+	return ce.count.Load()
+}
+
+func TestSweepPhaseCancellation(t *testing.T) {
+	space := sweepSpace(t)
+	points := int64(space.Size())
+	const m = 10
+
+	base := sweepOptions(4)
+	validating := base
+	validating.KeepSamples = true
+	validating.ValidationSamples = 16
+	totalPlain := countEvals(t, base, space)
+
+	for _, tc := range []struct {
+		name string
+		opts Options
+		// at is the evaluation count on which the context is
+		// cancelled, placing the cancellation inside a specific phase.
+		at int64
+	}{
+		// Mid-fingerprinting: half the points are fingerprinted.
+		{"phaseA", base, points * m / 2},
+		// First evaluation after all fingerprints with validation
+		// active is phase B's inline completion of a pending basis (or
+		// a validation draw) — the serial commit loop.
+		{"phaseB", validating, points*m + 1},
+		// Without validation, evaluations after the fingerprints are
+		// phase C1's full simulations.
+		{"phaseC1", base, points*m + 5},
+		// The very last evaluation of the sweep: cancellation lands on
+		// the C1→C2 boundary, observed by C1's pool exit or C2's.
+		{"phaseC2boundary", base, totalPlain},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := MustNew(tc.opts)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ce := &cancelAfterEval{
+				inner:  MustBindBox(blackbox.NewDemand(), "current_week", "feature_release"),
+				at:     tc.at,
+				cancel: cancel,
+			}
+			if _, _, err := eng.SweepContext(ctx, ce, space); err != context.Canceled {
+				t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+			}
+			if ce.count.Load() < tc.at {
+				t.Fatalf("sweep stopped after %d evaluations, before the trigger at %d — cancellation did not land in the intended phase",
+					ce.count.Load(), tc.at)
+			}
+
+			// The engine and store must remain fully usable: a cancelled
+			// sweep may leave pending bases behind, but they are benign
+			// (never reused, never shadowing their family). The recovery
+			// sweep must complete with every point answered and reuse
+			// working.
+			ce.at = -1 // disarm
+			res, st, err := eng.Sweep(ce, space)
+			if err != nil {
+				t.Fatalf("recovery sweep failed: %v", err)
+			}
+			if len(res) != space.Size() {
+				t.Fatalf("recovery sweep returned %d results, want %d", len(res), space.Size())
+			}
+			for i, r := range res {
+				if r.Point == nil {
+					t.Fatalf("recovery sweep left point %d unanswered", i)
+				}
+			}
+			if st.Reused == 0 {
+				t.Fatal("recovery sweep reused nothing")
+			}
+		})
+	}
+}
+
+// TestSweepReuseSteadyStateAllocs pins the tentpole's allocation
+// budget: on a warmed store, a parallel sweep's per-point allocations
+// must not exceed the sequential sweep's — speculation (views, probe
+// scratch, commit bookkeeping) costs no per-point heap.
+func TestSweepReuseSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector (sync.Pool drops puts)")
+	}
+	space := sweepSpace(t)
+	points := space.Points()
+	ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+
+	perPoint := func(workers int) float64 {
+		opts := sweepOptions(workers)
+		opts.Index = IndexNormalization
+		eng := MustNew(opts)
+		for i := 0; i < 3; i++ { // warm store, scratch pool, worker slots
+			if _, _, err := eng.SweepBatch(ev, points); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, _, err := eng.SweepBatch(ev, points); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return allocs / float64(len(points))
+	}
+
+	seq := perPoint(1)
+	par := perPoint(4)
+	// The sequential path allocates ~1 per reused point (the boxed
+	// mapping). The parallel path boxes the same mapping in phase A;
+	// everything speculation adds — views, plans, own-registration
+	// tracking — must amortize to O(1) per sweep, leaving headroom
+	// only for fixed per-sweep and per-goroutine bookkeeping.
+	if par > seq+0.5 {
+		t.Errorf("parallel sweep allocates %.2f/point on a warmed store vs %.2f sequential; speculation must not add per-point allocations", par, seq)
+	}
+}
+
+// TestFullSimWorkersClamp pins the fan-out threshold arithmetic.
+func TestFullSimWorkersClamp(t *testing.T) {
+	for _, tc := range []struct {
+		workers, rest, want int
+	}{
+		{1, 10000, 1},                     // sequential stays sequential
+		{4, 990, 1},                       // paper-scale n=1000: too small to fan out
+		{4, 2*MinSamplesPerWorker - 1, 1}, // below two full worker shares
+		{4, 2 * MinSamplesPerWorker, 2},
+		{4, 4086, 4}, // n=4096: every worker gets ≥512
+		{8, 4086, 7}, // clamped to rest/MinSamplesPerWorker
+	} {
+		if got := fullSimWorkers(tc.workers, tc.rest); got != tc.want {
+			t.Errorf("fullSimWorkers(%d, %d) = %d, want %d", tc.workers, tc.rest, got, tc.want)
+		}
+	}
+	if got := FullSimFanout(4, 1000, 10); got != 1 {
+		t.Errorf("FullSimFanout(4, 1000, 10) = %d, want 1 (the cell that regressed)", got)
+	}
+	if got := FullSimFanout(4, 4096, 10); got != 4 {
+		t.Errorf("FullSimFanout(4, 4096, 10) = %d, want 4", got)
+	}
+}
+
+// TestFullSimulationSmallStaysSequential pins the behavior behind the
+// clamp: at paper scale (n=1000) a Workers=4 EvaluatePoint must take
+// the sequential path — observable as the zero-allocation steady
+// state, which goroutine fan-out (closure + stack bookkeeping) would
+// break.
+func TestFullSimulationSmallStaysSequential(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector (sync.Pool drops puts)")
+	}
+	e := MustNew(Options{
+		Samples: 1000, FingerprintLen: 10, MasterSeed: 0x5161,
+		Reuse: false, Workers: 4,
+	})
+	ev := MustBindBox(blackbox.NewDemand(), "week", "feature")
+	p := param.Point{"week": 30, "feature": 52}
+	e.EvaluatePoint(ev, p) // warm the pool
+	allocs := testing.AllocsPerRun(20, func() {
+		e.EvaluatePoint(ev, p)
+	})
+	if allocs > 1 {
+		t.Errorf("n=1000 Workers=4 EvaluatePoint allocates %.1f per point (budget 1): small simulation did not skip goroutine fan-out", allocs)
+	}
+}
+
+// BenchmarkSweepSerialSection measures the per-point cost of the
+// sweep's serial section — the Amdahl term the tentpole shrinks — in
+// its three regimes:
+//
+//   - full-match: what phase B paid per reused point before
+//     speculation (the complete MatchWhereBuf probe, quantization and
+//     all), and still the sequential sweep's per-point match cost;
+//   - commit-current: the speculative commit when the probed shards
+//     are unchanged (warmed store, the steady state of repeated or
+//     reuse-heavy sweeps) — an epoch load and a plan copy;
+//   - commit-stale: the speculative commit after the probed shard
+//     gained a basis mid-sweep — the delta replay against the
+//     sweep's own registrations.
+func BenchmarkSweepSerialSection(b *testing.B) {
+	mkEngine := func() (*Engine, PointEval, []param.Point, []core.Fingerprint) {
+		eng := MustNew(Options{
+			Samples: 400, FingerprintLen: 10, MasterSeed: 0x5161,
+			Reuse: true, Index: IndexNormalization, Workers: 1,
+		})
+		ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+		// Register the two Demand bases so every point below hits.
+		eng.EvaluatePoint(ev, param.Point{"current_week": 0, "feature_release": 30})
+		eng.EvaluatePoint(ev, param.Point{"current_week": 20, "feature_release": 0})
+		var points []param.Point
+		var fps []core.Fingerprint
+		for w := 1.0; w <= 16; w++ {
+			p := param.Point{"current_week": w, "feature_release": 30}
+			points = append(points, p)
+			fps = append(fps, eng.Fingerprint(ev, p))
+		}
+		return eng, ev, points, fps
+	}
+
+	b.Run("full-match", func(b *testing.B) {
+		eng, _, _, fps := mkEngine()
+		var sc core.ProbeScratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := eng.Store().MatchWhereBuf(fps[i%len(fps)], payloadReady, &sc); !ok {
+				b.Fatal("probe missed")
+			}
+		}
+	})
+
+	b.Run("commit-current", func(b *testing.B) {
+		eng, _, _, fps := mkEngine()
+		sc := eng.scratches.Get()
+		defer eng.scratches.Put(sc)
+		plans := make([]pointPlan, len(fps))
+		for i, fp := range fps {
+			plans[i].specBasis, plans[i].specMapping, _ =
+				eng.store.MatchSpeculative(fp, payloadReady, &sc.probe, &plans[i].view)
+		}
+		var own ownAdds
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i % len(fps)
+			if _, _, ok, _, _ := eng.commitMatch(fps[j], &plans[j], &own, payloadReady, sc); !ok {
+				b.Fatal("commit missed")
+			}
+		}
+	})
+
+	// commit-stale is the fresh-store regime: every speculation ran
+	// against an empty store (a miss), then the commit loop registered
+	// the bases — so each commit replays the delta, running mapping
+	// discovery against the sweep's own registrations.
+	b.Run("commit-stale", func(b *testing.B) {
+		eng := MustNew(Options{
+			Samples: 400, FingerprintLen: 10, MasterSeed: 0x5161,
+			Reuse: true, Index: IndexNormalization, Workers: 1,
+		})
+		ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+		sc := eng.scratches.Get()
+		defer eng.scratches.Put(sc)
+		var fps []core.Fingerprint
+		for w := 1.0; w <= 16; w++ {
+			fps = append(fps, eng.Fingerprint(ev, param.Point{"current_week": w, "feature_release": 30}))
+		}
+		plans := make([]pointPlan, len(fps))
+		for i, fp := range fps {
+			plans[i].specBasis, plans[i].specMapping, _ =
+				eng.store.MatchSpeculative(fp, payloadReady, &sc.probe, &plans[i].view)
+			if plans[i].view.HitProbe() >= 0 {
+				b.Fatal("speculation against the empty store hit")
+			}
+		}
+		var own ownAdds
+		for _, p := range []param.Point{
+			{"current_week": 0, "feature_release": 30},
+			{"current_week": 20, "feature_release": 0},
+		} {
+			fp := eng.Fingerprint(ev, p)
+			basis, err := eng.store.Add(fp, p.Key(), &BasisPayload{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			own.add(eng.store, fp, basis)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i % len(fps)
+			if _, _, ok, _, _ := eng.commitMatch(fps[j], &plans[j], &own, payloadReady, sc); !ok {
+				b.Fatal("commit missed")
+			}
+		}
+	})
+}

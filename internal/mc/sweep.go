@@ -18,22 +18,28 @@ import (
 // point's result depends on that timing. Instead the sweep runs in
 // three phases (DESIGN.md, "Concurrency model"):
 //
-//	A. fingerprints for every point, in parallel — each fingerprint
-//	   depends only on (point, seed set), never on other points;
-//	B. store decisions (Match / Add / validation) strictly in
-//	   enumeration order — cheap, and exactly the decisions the
-//	   sequential sweep takes;
+//	A. fingerprints AND speculative store matches for every point, in
+//	   parallel — each worker probes the store exactly as phase B
+//	   would (signatures, candidate scan, mapping discovery) and
+//	   records what it observed in a core.MatchView;
+//	B. a serial COMMIT loop in enumeration order: a point whose
+//	   probed shards are at their speculation epoch adopts the
+//	   speculative outcome in O(1); a point whose shard gained a
+//	   basis mid-sweep replays only the appended candidates, which
+//	   this loop itself registered and tracks per signature (it is
+//	   the sweep's only store writer);
 //	C. full simulations for the miss points in parallel, then mapped
 //	   results for the hit points — each deterministic given phase B.
 //
-// Phase B is the only sequential section; it does O(m·bases) float
-// comparisons per point while phases A and C carry the O(n) model
-// evaluations, so wall-clock scales with the worker count. The
-// exception is match validation (ValidationSamples with KeepSamples —
-// off by default): its paired draws and inline basis completions run
-// inside phase B, so validation-enabled sweeps trade scaling for the
-// guard. (The target-side draws depend only on (point, seeds) and
-// could be hoisted into phase A if that trade ever matters.)
+// Phase B used to carry the entire per-point match cost — normal-form
+// quantization, key hashing, candidate probing, Algorithm-2 mapping
+// discovery — which Amdahl-capped reuse-heavy sweeps at 1× regardless
+// of worker count. With speculation that work rides in phase A and
+// the serial section shrinks to epoch loads plus the occasional
+// delta replay. The exception is match validation (ValidationSamples
+// with KeepSamples — off by default): its paired draws and inline
+// basis completions still run inside phase B, so validation-enabled
+// sweeps trade scaling for the guard.
 //
 // Every phase runs on pool.ForWorker so each worker id owns one
 // scratch for the whole sweep: fingerprints fill a single bulk
@@ -111,8 +117,17 @@ func (e *Engine) sweepWorkers(points int) int {
 	return w
 }
 
-// pointPlan is phase B's decision for one point.
+// pointPlan is one point's record through the phases: the speculative
+// match from phase A, and phase B's committed decision.
 type pointPlan struct {
+	// view records what the speculative match observed (probed
+	// signatures, shard epochs, per-group scan counts); the commit
+	// loop validates the speculation against it.
+	view core.MatchView
+	// specBasis/specMapping hold phase A's speculative match (nil when
+	// the speculation missed — view.HitProbe() < 0).
+	specBasis   *core.Basis
+	specMapping core.Mapping
 	// simulate marks a miss: the point runs a full simulation in
 	// phase C1.
 	simulate bool
@@ -125,6 +140,44 @@ type pointPlan struct {
 	mapping core.Mapping
 }
 
+// ownAdds tracks the bases the commit loop registered during this
+// sweep, in registration order, grouped the way the index files them.
+// Since the commit loop is the sweep's only store writer, these are
+// exactly the candidates appended to any probe bucket after phase A's
+// speculations — the delta a stale speculation must replay.
+type ownAdds struct {
+	// bySig groups registrations by insert signature (sharded stores):
+	// the tail of probe bucket sig is bySig[sig], in insertion order.
+	bySig map[uint64][]*core.Basis
+	// all is the registration list for unsharded stores, whose single
+	// probe group sees every insertion.
+	all []*core.Basis
+}
+
+// add records a registration under the signature the store filed it.
+func (o *ownAdds) add(store *core.Store, fp core.Fingerprint, b *core.Basis) {
+	if sig, sharded := store.InsertSignature(fp); sharded {
+		if o.bySig == nil {
+			o.bySig = make(map[uint64][]*core.Basis)
+		}
+		o.bySig[sig] = append(o.bySig[sig], b)
+		return
+	}
+	o.all = append(o.all, b)
+}
+
+// tail returns the registrations appended to probe group j of the
+// view since speculation.
+func (o *ownAdds) tail(store *core.Store, v *core.MatchView, j int) []*core.Basis {
+	if store.Sharded() {
+		if o.bySig == nil {
+			return nil
+		}
+		return o.bySig[v.Sig(j)]
+	}
+	return o.all
+}
+
 // sweepParallel is the phased concurrent sweep. See the file comment
 // for the phase structure and DESIGN.md for the determinism argument.
 func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.Point) ([]PointResult, SweepStats, error) {
@@ -132,6 +185,7 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 	workers := e.sweepWorkers(n)
 	results := make([]PointResult, n)
 	fps := make([]core.Fingerprint, n)
+	plans := make([]pointPlan, n)
 
 	// One scratch per worker id, pinned for all three phases: a
 	// worker id never runs two points concurrently, so its buffers
@@ -146,44 +200,81 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 		}
 	}()
 
-	// Phase A: fingerprints, embarrassingly parallel. All n
-	// fingerprints share one backing array — one allocation instead
-	// of n (they outlive the phases: misses donate theirs to the
-	// store, which clones, and C2's defensive resimulation rereads).
+	// Phase A: fingerprints and speculative matches, embarrassingly
+	// parallel. All n fingerprints share one backing array — one
+	// allocation instead of n (they outlive the phases: misses donate
+	// theirs to the store, which clones, and C2's defensive
+	// resimulation rereads). The speculative match runs the full probe
+	// — quantization, hashing, candidate scan, mapping discovery —
+	// that phase B would otherwise serialize; its outcome and the
+	// store state it saw land in the point's plan for the commit loop
+	// to validate.
 	m := e.seeds.Len()
 	backing := make([]float64, n*m)
+	reuse := e.opts.Reuse
 	if err := pool.ForWorker(ctx, n, workers, func(w, i int) {
+		sc := scratches[w]
 		fp := core.Fingerprint(backing[i*m : (i+1)*m : (i+1)*m])
-		e.fingerprintFill(f, points[i], fp, scratches[w])
+		e.fingerprintFill(f, points[i], fp, sc)
 		fps[i] = fp
+		if reuse {
+			plans[i].specBasis, plans[i].specMapping, _ =
+				e.store.MatchSpeculative(fp, payloadReady, &sc.probe, &plans[i].view)
+		}
 	}); err != nil {
 		return nil, SweepStats{}, err
 	}
 
-	// Phase B: store decisions in enumeration order. pending maps a
-	// basis ID registered during this sweep to the index of the point
-	// that owns its simulation; done marks points already simulated
-	// inline by the validation path.
-	plans := make([]pointPlan, n)
+	// Phase B: the serial commit loop, strictly in enumeration order.
+	// pending maps a basis ID registered during this sweep to the
+	// index of the point that owns its simulation; done marks points
+	// already simulated inline by the validation path; own tracks this
+	// sweep's registrations per probe bucket for delta replays. Store
+	// probe counters are accumulated locally and flushed once, so the
+	// final SweepStats are bit-identical to the sequential sweep
+	// without per-point atomics.
 	pending := make(map[int]int)
 	done := make([]bool, n)
 	validating := e.opts.ValidationSamples > 0 && e.opts.KeepSamples
 	sc0 := scratches[0]
+	var own ownAdds
+	var queries, hits, scanned int64
+	// Flush the batched counters before the final Stats snapshot —
+	// and on every early (error) return, so a cancelled sweep's
+	// partial probes still land in the store's lifetime statistics.
+	flushed := false
+	flush := func() {
+		if !flushed {
+			flushed = true
+			e.store.RecordMatches(queries, hits, scanned)
+		}
+	}
+	defer flush()
+	// Accept this sweep's own pending bases (phase C fills them
+	// before C2 reads); skip bases another — possibly cancelled —
+	// sweep never completed.
+	accept := func(b *core.Basis) bool {
+		if _, ownPending := pending[b.ID]; ownPending {
+			return true
+		}
+		return payloadReady(b)
+	}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, SweepStats{}, err
 		}
-		if e.opts.Reuse {
-			// Accept this sweep's own pending bases (phase C fills them
-			// before C2 reads); skip bases another — possibly cancelled —
-			// sweep never completed.
-			accept := func(b *core.Basis) bool {
-				if _, own := pending[b.ID]; own {
-					return true
-				}
-				return payloadReady(b)
+		if reuse {
+			queries++
+			basis, mapping, ok, pointScanned, counted := e.commitMatch(fps[i], &plans[i], &own, accept, sc0)
+			if counted {
+				queries--
+			} else {
+				scanned += pointScanned
 			}
-			if basis, mapping, ok := e.store.MatchWhereBuf(fps[i], accept, &sc0.probe); ok {
+			if ok {
+				if !counted {
+					hits++
+				}
 				_, ownPending := pending[basis.ID]
 				if validating && ownPending {
 					// Validation compares against the basis' retained
@@ -203,19 +294,21 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 				// the sequential sweep trusts such matches as-is.
 				valid := ownPending || e.validateMatch(f, points[i], basis, mapping, sc0)
 				if valid && e.basisUsable(basis, mapping, ownPending) {
-					plans[i] = pointPlan{basis: basis, mapping: mapping}
+					plans[i].basis = basis
+					plans[i].mapping = mapping
 					continue
 				}
 			}
 		}
 		plans[i].simulate = true
-		if e.opts.Reuse {
+		if reuse {
 			payload := &BasisPayload{}
 			payload.markPending()
 			if basis, err := e.store.Add(fps[i], points[i].Key(), payload); err == nil {
 				plans[i].basis = basis
 				plans[i].payload = payload
 				pending[basis.ID] = i
+				own.add(e.store, fps[i], basis)
 			}
 		}
 	}
@@ -253,7 +346,64 @@ func (e *Engine) sweepParallel(ctx context.Context, f PointEval, points []param.
 		return nil, SweepStats{}, err
 	}
 
+	flush()
 	return results, e.Stats(n), nil
+}
+
+// commitMatch replays point i's speculative match against the store
+// as of this commit step and returns exactly the (basis, mapping, ok)
+// a sequential sweep's MatchWhereBuf would return here, plus the
+// number of mapping-discovery attempts that decision would have
+// scanned. The cases, cheapest first:
+//
+//   - the probed shards are at their speculation epochs (ViewCurrent):
+//     no candidate list changed, the speculation IS the sequential
+//     decision — O(1), no locks, no index access;
+//   - a probed shard changed: the only in-sweep writer is this loop,
+//     so the appended candidates are in own; replay them per probe
+//     group, in group order — a speculative hit in group j yields to
+//     a delta hit in any earlier group (those candidates precede it
+//     in sequential scan order) but beats anything appended to group
+//     j or later (appends land after the hit position);
+//   - the view overflowed (an exotic index with more probe signatures
+//     than the view tracks): fall back to a full re-match through
+//     MatchWhereBuf, which updates the store counters itself —
+//     signalled to the caller via counted.
+//
+// Own registrations always pass the accept filter (they are this
+// sweep's pending bases, or were completed inline by validation), so
+// the replay skips the accept call for them.
+func (e *Engine) commitMatch(fp core.Fingerprint, plan *pointPlan, own *ownAdds, accept func(*core.Basis) bool, sc *scratch) (basis *core.Basis, mapping core.Mapping, ok bool, scanned int64, counted bool) {
+	v := &plan.view
+	if v.Overflow() {
+		basis, mapping, ok = e.store.MatchWhereBuf(fp, accept, &sc.probe)
+		return basis, mapping, ok, 0, true
+	}
+	if v.Static() || e.store.ViewCurrent(v) {
+		if v.HitProbe() >= 0 {
+			return plan.specBasis, plan.specMapping, true, v.ScannedTotal(), false
+		}
+		return nil, nil, false, v.ScannedTotal(), false
+	}
+	class, tol := e.store.Class(), e.store.Tolerance()
+	for j := 0; j < v.Probes(); j++ {
+		// The speculation's scan of group j is a prefix of the
+		// sequential scan: its failures stay failures (fingerprints
+		// are immutable and pre-sweep payload readiness is stable
+		// within a sweep), and a speculative hit here ends the scan
+		// exactly where the sequential one would.
+		scanned += int64(v.ScannedIn(j))
+		if v.HitProbe() == j {
+			return plan.specBasis, plan.specMapping, true, scanned, false
+		}
+		for _, b := range own.tail(e.store, v, j) {
+			scanned++
+			if m, found := class.Find(b.Fingerprint, fp, tol); found {
+				return b, m, true, scanned, false
+			}
+		}
+	}
+	return nil, nil, false, scanned, false
 }
 
 // completeSimulation runs point i's full simulation, stores its result

@@ -2,13 +2,14 @@ package mc
 
 import (
 	"context"
+	"math"
 	"reflect"
-	"runtime"
 	"sync"
 	"testing"
 
 	"jigsaw/internal/blackbox"
 	"jigsaw/internal/param"
+	"jigsaw/internal/rng"
 )
 
 // sweepSpace is a two-parameter space large enough that the parallel
@@ -36,58 +37,133 @@ func sweepOptions(workers int) Options {
 	}
 }
 
+// famEval is a multi-family test workload: parameter fam selects a
+// distinct nonlinear shape (families are not mappable onto each
+// other), while a and b place the point inside its family's affine
+// orbit — including negative a, so the SortedSID index exercises its
+// reversed-key probe and the speculative commit its cross-bucket
+// replay. The sample identity is recovered from the reseeded
+// generator's first draw, keeping the fingerprint a pure function of
+// (point, seed) on the scalar evaluation path.
+var famEval = EvalFunc(func(p param.Point, r *rng.Rand) float64 {
+	u := r.Uniform(0, 1)
+	fam := p.MustGet("fam")
+	g := math.Sin((fam+1)*2.7 + u*7)
+	return p.MustGet("a")*g + p.MustGet("b")
+})
+
+// famSpace enumerates famEval's space with fam varying slowest, so
+// each new family — and therefore each basis registration — appears
+// mid-sweep rather than in an initial burst.
+func famSpace(t *testing.T) *param.Space {
+	t.Helper()
+	fam, err := param.Range("fam", 0, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := param.Range("a", -2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := param.Range("b", 0, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return param.MustSpace(fam, a, b)
+}
+
+// synthSpace is the SynthBasis(classes) workload over n points:
+// point mod classes selects the basis family, so registrations recur
+// until every class has been seen and reuses interleave with them.
+func synthSpace(t *testing.T, n int) *param.Space {
+	t.Helper()
+	idx, err := param.Range("point_index", 0, float64(n-1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return param.MustSpace(idx)
+}
+
 // TestSweepParallelDeterminism is the core guarantee of the concurrent
 // sweep subsystem: for every index strategy, with reuse on and off,
-// a parallel sweep returns bit-identical PointResults and SweepStats
-// to the sequential sweep.
+// with basis registrations forced throughout the sweep (multi-family
+// workloads) and against both a fresh and a warmed store — the former
+// drives the commit loop's delta replay, the latter commits
+// speculative hits verbatim — a parallel sweep returns bit-identical
+// PointResults and SweepStats to the sequential sweep, for every
+// worker count.
 func TestSweepParallelDeterminism(t *testing.T) {
-	parallel := runtime.NumCPU()
-	if parallel < 2 {
-		parallel = 4
-	}
-	space := sweepSpace(t)
-	ev := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+	demandSpace := sweepSpace(t)
+	demand := MustBindBox(blackbox.NewDemand(), "current_week", "feature_release")
+	synth := MustBindBox(blackbox.NewSynthBasis(16), "point_index")
 
 	for _, tc := range []struct {
 		name   string
+		ev     PointEval
+		space  *param.Space
 		mutate func(*Options)
 	}{
-		{"reuse/array", func(o *Options) { o.Index = IndexArray }},
-		{"reuse/norm", func(o *Options) { o.Index = IndexNormalization }},
-		{"reuse/sid", func(o *Options) { o.Index = IndexSortedSID }},
-		{"noreuse", func(o *Options) { o.Reuse = false }},
-		{"keepsamples", func(o *Options) { o.KeepSamples = true; o.HistBins = 8 }},
-		{"validation", func(o *Options) { o.KeepSamples = true; o.ValidationSamples = 16 }},
+		{"reuse/array", demand, demandSpace, func(o *Options) { o.Index = IndexArray }},
+		{"reuse/norm", demand, demandSpace, func(o *Options) { o.Index = IndexNormalization }},
+		{"reuse/sid", demand, demandSpace, func(o *Options) { o.Index = IndexSortedSID }},
+		{"noreuse", demand, demandSpace, func(o *Options) { o.Reuse = false }},
+		{"keepsamples", demand, demandSpace, func(o *Options) { o.KeepSamples = true; o.HistBins = 8 }},
+		{"validation", demand, demandSpace, func(o *Options) { o.KeepSamples = true; o.ValidationSamples = 16 }},
+		{"midsweep/array", synth, synthSpace(t, 200), func(o *Options) { o.Index = IndexArray }},
+		{"midsweep/norm", synth, synthSpace(t, 200), func(o *Options) { o.Index = IndexNormalization }},
+		{"midsweep/sid", synth, synthSpace(t, 200), func(o *Options) { o.Index = IndexSortedSID }},
+		{"midsweep/validation", synth, synthSpace(t, 200), func(o *Options) {
+			o.Index = IndexNormalization
+			o.KeepSamples = true
+			o.ValidationSamples = 16
+		}},
+		{"families/norm", famEval, famSpace(t), func(o *Options) { o.Index = IndexNormalization }},
+		{"families/sid", famEval, famSpace(t), func(o *Options) { o.Index = IndexSortedSID }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			seqOpts := sweepOptions(1)
 			tc.mutate(&seqOpts)
-			parOpts := sweepOptions(parallel)
-			tc.mutate(&parOpts)
-
 			seqEng := MustNew(seqOpts)
-			seqRes, seqStats, err := seqEng.Sweep(ev, space)
-			if err != nil {
-				t.Fatal(err)
-			}
-			parEng := MustNew(parOpts)
-			parRes, parStats, err := parEng.Sweep(ev, space)
-			if err != nil {
-				t.Fatal(err)
+			// Two sweeps per engine: the first runs against an empty
+			// store (every speculative view goes stale as bases
+			// register), the second against a warmed one (speculative
+			// hits commit verbatim in O(1)).
+			var seqRes [2][]PointResult
+			var seqStats [2]SweepStats
+			for round := range seqRes {
+				res, st, err := seqEng.Sweep(tc.ev, tc.space)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqRes[round], seqStats[round] = res, st
 			}
 
-			if len(seqRes) != len(parRes) {
-				t.Fatalf("result count: sequential %d, parallel %d", len(seqRes), len(parRes))
-			}
-			for i := range seqRes {
-				if !reflect.DeepEqual(seqRes[i], parRes[i]) {
-					t.Fatalf("point %d diverged:\nsequential: %+v\nparallel:   %+v", i, seqRes[i], parRes[i])
+			for _, workers := range []int{2, 4, 7} {
+				parOpts := sweepOptions(workers)
+				tc.mutate(&parOpts)
+				parEng := MustNew(parOpts)
+				for round := range seqRes {
+					parRes, parStats, err := parEng.Sweep(tc.ev, tc.space)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(seqRes[round]) != len(parRes) {
+						t.Fatalf("workers=%d round %d: result count %d vs %d",
+							workers, round, len(seqRes[round]), len(parRes))
+					}
+					for i := range parRes {
+						if !reflect.DeepEqual(seqRes[round][i], parRes[i]) {
+							t.Fatalf("workers=%d round %d point %d diverged:\nsequential: %+v\nparallel:   %+v",
+								workers, round, i, seqRes[round][i], parRes[i])
+						}
+					}
+					if !reflect.DeepEqual(seqStats[round], parStats) {
+						t.Fatalf("workers=%d round %d stats diverged:\nsequential: %+v\nparallel:   %+v",
+							workers, round, seqStats[round], parStats)
+					}
 				}
 			}
-			if !reflect.DeepEqual(seqStats, parStats) {
-				t.Fatalf("stats diverged:\nsequential: %+v\nparallel:   %+v", seqStats, parStats)
-			}
-			if seqOpts.Reuse && parStats.Reused == 0 {
+			if seqOpts.Reuse && seqStats[0].Reused == 0 {
 				t.Fatal("sweep with reuse enabled reused nothing; test space too small to be meaningful")
 			}
 		})
