@@ -7,18 +7,22 @@
 //	jigsaw-bench [-experiment all|fig7|fig8|fig9|fig10|fig11|fig12]
 //	             [-scale quick|paper] [-samples N] [-trials N]
 //	             [-workers N]
-//	jigsaw-bench -json BENCH_sweep.json [-scale quick|paper]
+//	jigsaw-bench -json BENCH_sweep.json [-suite sweep] [-scale quick|paper]
 //	             [-baseline BENCH_sweep.json] [-maxregress 0.20]
+//	jigsaw-bench -json BENCH_pdb.json -suite pdb [-scale quick|paper]
+//	             [-baseline BENCH_pdb.json] [-maxregress 0.20]
 //	jigsaw-bench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// The -json mode runs the sweep hot-path micro-benchmark
-// (index × reuse × workers, plus a full-simulation-only row) instead
-// of the paper figures and writes the machine-readable perf point
-// EXPERIMENTS.md's "Perf methodology" section describes. With
-// -baseline it additionally compares the fresh numbers against a
-// checked-in report and exits nonzero when any recorded cell's
-// ns/point regressed by more than -maxregress — the CI guard on the
-// hot path.
+// The -json mode runs a hot-path micro-benchmark suite instead of the
+// paper figures and writes the machine-readable perf point
+// EXPERIMENTS.md's "Perf methodology" section describes: -suite sweep
+// (the default) measures the Monte Carlo engine's
+// index × reuse × workers grid, -suite pdb the PDB query layer's
+// query × executor × workers grid (ns per world, scalar vs columnar).
+// With -baseline it additionally compares the fresh numbers against a
+// checked-in report of the same suite and exits nonzero when any
+// recorded cell's ns/point regressed by more than -maxregress — the
+// CI guard on the hot paths.
 package main
 
 import (
@@ -39,8 +43,9 @@ func main() {
 		samples    = flag.Int("samples", 0, "override samples per point")
 		trials     = flag.Int("trials", 0, "override timing trials")
 		workers    = flag.Int("workers", 1, "sweep worker pool size (1 = paper's sequential timings, 0 = all cores)")
-		jsonPath   = flag.String("json", "", "run the sweep hot-path benchmark and write BENCH_sweep.json-style output here")
-		baseline   = flag.String("baseline", "", "compare the -json run against this checked-in BENCH_sweep.json and fail on regression")
+		jsonPath   = flag.String("json", "", "run the -suite hot-path benchmark and write BENCH_*.json-style output here")
+		suite      = flag.String("suite", "sweep", "hot-path benchmark suite for -json: sweep (mc engine) or pdb (query layer)")
+		baseline   = flag.String("baseline", "", "compare the -json run against this checked-in report of the same suite and fail on regression")
 		maxRegress = flag.Float64("maxregress", 0.20, "allowed ns/point regression per cell vs -baseline (0.20 = +20%)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
@@ -113,9 +118,19 @@ func main() {
 
 	if *jsonPath != "" {
 		start := time.Now()
-		report, err := experiments.SweepBench(cfg)
+		var report *experiments.SweepBenchReport
+		var err error
+		switch *suite {
+		case "sweep":
+			report, err = experiments.SweepBench(cfg)
+		case "pdb":
+			report, err = experiments.PDBBench(cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "jigsaw-bench: unknown suite %q\n", *suite)
+			exit(2)
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "jigsaw-bench: sweepbench: %v\n", err)
+			fmt.Fprintf(os.Stderr, "jigsaw-bench: %s bench: %v\n", *suite, err)
 			exit(1)
 		}
 		out, err := os.Create(*jsonPath)

@@ -1,0 +1,174 @@
+package blackbox
+
+import (
+	"fmt"
+	"math"
+
+	"jigsaw/internal/rng"
+)
+
+// StreamBox is the optional continuing-stream block capability of a
+// Box: draw one sample per world from that world's own generator,
+// continuing each stream exactly where it stands. It is the PDB
+// engine's analogue of BlockBox — where BlockBox amortizes per-sample
+// setup across freshly seeded generators (the Monte Carlo cold path),
+// EvalStream amortizes it across a column of live per-world streams,
+// which is what the columnar query executor needs: a world's draws
+// must continue the single stream its seed started, or results would
+// depend on block boundaries.
+//
+// The contract is bit-exactness against the scalar loop: for every
+// world w with active[w] (a nil active means all worlds),
+//
+//	out[w] = b.Eval(args, &rands[w])
+//
+// including generator side effects — the post-call state of rands[w]
+// (stream position and the cached Gaussian variate) must equal the
+// scalar call's. Inactive worlds must not be touched: no draw, no
+// write to out[w].
+type StreamBox interface {
+	Box
+	// EvalStream draws one sample per active world, continuing each
+	// world's stream. len(out) must equal len(rands), and active must
+	// be nil or at least as long; implementations panic otherwise, as
+	// they do on arity violations.
+	EvalStream(args []float64, out []float64, rands []rng.Rand, active []bool)
+}
+
+// EvalStreamScalar is the reference stream evaluation: a plain loop
+// over b.Eval against each world's generator. It defines the
+// bit-pattern every EvalStream implementation must reproduce, and
+// serves as the fallback for boxes without a native stream kernel.
+func EvalStreamScalar(b Box, args []float64, out []float64, rands []rng.Rand, active []bool) {
+	checkStream(b.Name(), out, rands, active)
+	for w := range rands {
+		if active != nil && !active[w] {
+			continue
+		}
+		out[w] = b.Eval(args, &rands[w])
+	}
+}
+
+// EvalStream dispatches to b's native stream kernel when it has one,
+// falling back to the scalar reference loop. Either way the result is
+// bit-identical to per-world Eval calls, so callers can adopt the
+// stream path unconditionally.
+func EvalStream(b Box, args []float64, out []float64, rands []rng.Rand, active []bool) {
+	if sb, ok := b.(StreamBox); ok {
+		sb.EvalStream(args, out, rands, active)
+		return
+	}
+	EvalStreamScalar(b, args, out, rands, active)
+}
+
+// checkStream panics on an out/rands/active length mismatch (an
+// engine plumbing bug, like an arity violation).
+func checkStream(name string, out []float64, rands []rng.Rand, active []bool) {
+	if len(out) != len(rands) {
+		panic(fmt.Sprintf("blackbox: %s: stream out has %d slots for %d worlds", name, len(out), len(rands)))
+	}
+	if active != nil && len(active) < len(rands) {
+		panic(fmt.Sprintf("blackbox: %s: stream mask has %d slots for %d worlds", name, len(active), len(rands)))
+	}
+}
+
+// EvalStream implements StreamBox. Demand's distribution parameters
+// depend only on the arguments, so (µ, σ²) and the √σ² resolve once
+// per column and the loop body is a bare cached-pair normal draw —
+// the same ops Eval performs (NormalVar = µ + √σ²·StdNormal), so the
+// stream positions and Gaussian caches stay bit-identical.
+func (d *Demand) EvalStream(args []float64, out []float64, rands []rng.Rand, active []bool) {
+	checkArity(d.Name(), d.Arity(), args)
+	checkStream(d.Name(), out, rands, active)
+	mu, variance := d.params(args[0], args[1])
+	sigma := math.Sqrt(variance)
+	for w := range rands {
+		if active != nil && !active[w] {
+			continue
+		}
+		out[w] = mu + sigma*rands[w].StdNormal()
+	}
+}
+
+// EvalStream implements StreamBox: Eval's exact draw sequence per
+// world with the argument decode and exponential rate hoisted out of
+// the loop.
+func (c *Capacity) EvalStream(args []float64, out []float64, rands []rng.Rand, active []bool) {
+	checkArity(c.Name(), c.Arity(), args)
+	checkStream(c.Name(), out, rands, active)
+	week := args[0]
+	purchases := args[1:]
+	rate := 1 / c.MeanDelay
+	for w := range rands {
+		if active != nil && !active[w] {
+			continue
+		}
+		r := &rands[w]
+		capacity := c.Base + r.Normal(0, c.BaseNoise)
+		capacity -= float64(r.Binomial(c.FailTrials, c.FailRate))
+		for _, purchase := range purchases {
+			delay := r.Exponential(rate)
+			if week >= purchase+delay {
+				capacity += c.PurchaseVolume
+			}
+		}
+		out[w] = capacity
+	}
+}
+
+// EvalStream implements StreamBox: the demand argument vector Eval
+// rebuilds per call is hoisted to a stack buffer; the composed models
+// share each world's generator exactly as Eval does.
+func (o *Overload) EvalStream(args []float64, out []float64, rands []rng.Rand, active []bool) {
+	checkArity(o.Name(), o.Arity(), args)
+	checkStream(o.Name(), out, rands, active)
+	dargs := [2]float64{args[0], o.NoFeature}
+	for w := range rands {
+		if active != nil && !active[w] {
+			continue
+		}
+		r := &rands[w]
+		demand := o.DemandModel.Eval(dargs[:], r)
+		capacity := o.CapacityModel.Eval(args, r)
+		if capacity < demand {
+			out[w] = 1
+		} else {
+			out[w] = 0
+		}
+	}
+}
+
+// EvalStream implements StreamBox: the activity test and mean
+// (including the expensive growth power) compute once per row-column,
+// and the per-world body is a bare LogNormal draw — the set-oriented
+// amortization of EvalBulk without reordering randomness, so the
+// columnar PDB path stays bit-identical to per-world interpretation.
+func (UserUsage) EvalStream(args []float64, out []float64, rands []rng.Rand, active []bool) {
+	checkArity("UserUsage", 5, args)
+	checkStream("UserUsage", out, rands, active)
+	week, join, base, growth, vol := args[0], args[1], args[2], args[3], args[4]
+	if week < join {
+		// Inactive users draw nothing, exactly like Eval.
+		for w := range rands {
+			if active != nil && !active[w] {
+				continue
+			}
+			out[w] = 0
+		}
+		return
+	}
+	mean := base * math.Pow(growth, week-join)
+	for w := range rands {
+		if active != nil && !active[w] {
+			continue
+		}
+		out[w] = mean * rands[w].LogNormal(0, vol)
+	}
+}
+
+var (
+	_ StreamBox = (*Demand)(nil)
+	_ StreamBox = (*Capacity)(nil)
+	_ StreamBox = (*Overload)(nil)
+	_ StreamBox = UserUsage{}
+)

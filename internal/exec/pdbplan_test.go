@@ -2,6 +2,7 @@ package exec
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"jigsaw/internal/blackbox"
@@ -161,5 +162,51 @@ func TestBuildPDBPlanMultiArmCase(t *testing.T) {
 	}
 	if !out.Rows[0][1].IsNull() {
 		t.Fatal("NULL literal lost")
+	}
+}
+
+func TestBuildPDBPlanTakesColumnarPath(t *testing.T) {
+	// Lowered plans are built from the pdb package's native operators,
+	// so RunDistribution's default columnar executor applies to every
+	// lowered query — and must match the per-world reference
+	// interpreter bit for bit, masks (WHERE), extends and projections
+	// included.
+	db := fig1DB()
+	tbl := pdb.MustNewTable("week", "volume")
+	tbl.MustAppend(pdb.Row{pdb.Float(10), pdb.Float(40)})
+	tbl.MustAppend(pdb.Row{pdb.Float(20), pdb.Float(60)})
+	if err := db.CreateTable("purchases", tbl); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]string{
+		"fig1":  figure1Source,
+		"from":  `SELECT week, volume * DemandModel(week, 99) AS noisy FROM purchases WHERE volume > 15`,
+		"where": `SELECT volume AS v FROM purchases WHERE DemandModel(week, 99) > 0`,
+	} {
+		script, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		plan, err := BuildPDBPlan(script.Selects[0], db)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		params := map[string]float64{
+			"current_week": 30, "purchase1": 4, "purchase2": 12, "feature_release": 36,
+		}
+		opts := pdb.WorldsOptions{Worlds: 300, MasterSeed: 3, KeepSamples: true, HistBins: 6}
+		sOpts := opts
+		sOpts.Mode = pdb.ExecScalar
+		want, wantErr := pdb.RunDistribution(plan, params, sOpts)
+		got, gotErr := pdb.RunDistribution(plan, params, opts)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: scalar err %v, columnar err %v", name, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: lowered plan diverges between executors", name)
+		}
 	}
 }

@@ -1,0 +1,189 @@
+package experiments
+
+// The PDB execution micro-benchmark behind BENCH_pdb.json: where
+// BENCH_sweep.json tracks the Monte Carlo engine's hot path,
+// this grid tracks the query layer — ns, allocations and bytes per
+// *world* for representative query shapes under both executors
+// (per-world scalar interpretation vs world-blocked columnar), so a
+// regression in the columnar pipeline, or an erosion of its margin
+// over the scalar reference, is caught by diffing two JSON files.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/exec"
+	"jigsaw/internal/pdb"
+	"jigsaw/internal/sqlparse"
+)
+
+// pdbBenchQuery is one benchmark workload: a prebuilt plan plus its
+// parameter point.
+type pdbBenchQuery struct {
+	name   string
+	plan   pdb.Plan
+	params map[string]float64
+}
+
+// pdbBenchQueries builds the three workload shapes:
+//
+//   - demand: the minimal VG-heavy model query (one draw per world) —
+//     the fresh-lane bulk-kernel case.
+//   - overload: Fig. 1's dependent column list (two draws per world
+//     plus a CASE over both) — the live-stream kernel case.
+//   - users: the data-dependent aggregate over cfg.Users rows (one
+//     draw per row per world into a SUM) — the set-oriented case the
+//     wrapper wins Fig. 7 with.
+func pdbBenchQueries(cfg Config) ([]pdbBenchQuery, error) {
+	db := pdb.NewDB()
+	db.Boxes.MustRegister(blackbox.NewDemand())
+	db.Boxes.MustRegister(blackbox.NewCapacity())
+	db.Boxes.MustRegister(blackbox.UserUsage{})
+
+	users := blackbox.GenerateUsers(cfg.Users, 0xD5)
+	userTable := pdb.MustNewTable("join_week", "base", "growth", "vol")
+	for _, u := range users {
+		userTable.MustAppend(pdb.Row{
+			pdb.Float(u.JoinWeek), pdb.Float(u.BaseCores),
+			pdb.Float(u.GrowthRate), pdb.Float(u.Volatility),
+		})
+	}
+	if err := db.CreateTable("users", userTable); err != nil {
+		return nil, err
+	}
+
+	buildSQL := func(src string) (pdb.Plan, error) {
+		script, err := sqlparse.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return exec.BuildPDBPlan(script.Selects[0], db)
+	}
+	demand, err := buildSQL(`SELECT DemandModel(@current_week, @feature_release) AS demand`)
+	if err != nil {
+		return nil, err
+	}
+	overload, err := buildSQL(`SELECT DemandModel(@current_week, 99999) AS demand,
+	  CapacityModel(@current_week, @purchase1, @purchase2) AS capacity,
+	  CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload`)
+	if err != nil {
+		return nil, err
+	}
+
+	scan, err := db.Scan("users")
+	if err != nil {
+		return nil, err
+	}
+	usage, err := (pdb.Call{Name: "UserUsage", Args: []pdb.Expr{
+		pdb.Param{Name: "current_week"}, pdb.Col{Name: "join_week"},
+		pdb.Col{Name: "base"}, pdb.Col{Name: "growth"}, pdb.Col{Name: "vol"},
+	}}).Bind(scan.Schema(), db.Env())
+	if err != nil {
+		return nil, err
+	}
+	userPlan, err := pdb.NewGroupPlan(scan, nil,
+		[]pdb.AggSpec{{Kind: pdb.AggSum, Arg: usage, Name: "total"}})
+	if err != nil {
+		return nil, err
+	}
+
+	mid := float64(cfg.Weeks / 2)
+	return []pdbBenchQuery{
+		{"demand", demand, map[string]float64{"current_week": mid, "feature_release": 12}},
+		{"overload", overload, map[string]float64{"current_week": mid, "purchase1": 8, "purchase2": 24}},
+		{"users", userPlan, map[string]float64{"current_week": 40}},
+	}, nil
+}
+
+// measurePDBCell benchmarks one grid cell and normalizes per world.
+func measurePDBCell(name string, q pdbBenchQuery, opts pdb.WorldsOptions) (SweepBenchResult, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(cellProcs(opts.Workers)))
+	// Warm pools so the cell measures steady state, and surface setup
+	// errors outside the timed loop.
+	if _, err := pdb.RunDistribution(q.plan, q.params, opts); err != nil {
+		return SweepBenchResult{}, err
+	}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pdb.RunDistribution(q.plan, q.params, opts); err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	if runErr != nil {
+		return SweepBenchResult{}, runErr
+	}
+	worlds := float64(opts.Worlds)
+	mode := "columnar"
+	if opts.Mode == pdb.ExecScalar {
+		mode = "scalar"
+	}
+	return SweepBenchResult{
+		Name:           name,
+		Index:          "pdb/" + mode,
+		Workers:        opts.Workers,
+		Points:         opts.Worlds,
+		NsPerPoint:     float64(res.NsPerOp()) / worlds,
+		AllocsPerPoint: float64(res.AllocsPerOp()) / worlds,
+		BytesPerPoint:  float64(res.AllocedBytesPerOp()) / worlds,
+	}, nil
+}
+
+// PDBBench measures the PDB query layer over the query × mode ×
+// workers grid and returns the report for BENCH_pdb.json. Cell
+// figures are per world (the PDB analogue of per point); the
+// columnar/scalar pairs share identical Distributions — the bit-
+// identity the pdb package's property tests pin — so their ratio is
+// pure execution cost.
+func PDBBench(cfg Config) (*SweepBenchReport, error) {
+	cfg = cfg.withDefaults()
+	queries, err := pdbBenchQueries(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	parallelWorkers := cfg.Workers
+	if parallelWorkers <= 1 {
+		parallelWorkers = benchParallelWorkers
+	}
+	workerGrid := []int{1, parallelWorkers}
+	prevProcs := runtime.GOMAXPROCS(parallelWorkers)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	report := &SweepBenchReport{
+		Suite:      "pdb",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Samples:    cfg.Samples,
+		Points:     cfg.Samples,
+	}
+	for _, q := range queries {
+		for _, mode := range []pdb.ExecMode{pdb.ExecScalar, pdb.ExecColumnar} {
+			for _, workers := range workerGrid {
+				opts := pdb.WorldsOptions{
+					Worlds: cfg.Samples, MasterSeed: cfg.MasterSeed,
+					Workers: workers, Mode: mode,
+				}
+				modeName := "columnar"
+				if mode == pdb.ExecScalar {
+					modeName = "scalar"
+				}
+				name := fmt.Sprintf("pdb/query=%s/mode=%s/workers=%d", q.name, modeName, workers)
+				cell, err := measurePDBCell(name, q, opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+				report.Results = append(report.Results, cell)
+			}
+		}
+	}
+	return report, nil
+}

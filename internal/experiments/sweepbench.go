@@ -45,8 +45,12 @@ type SweepBenchResult struct {
 	ReuseRate float64 `json:"reuse_rate"`
 }
 
-// SweepBenchReport is the BENCH_sweep.json payload.
+// SweepBenchReport is the BENCH_sweep.json / BENCH_pdb.json payload
+// (the PDB suite reuses the shape with per-world normalization).
 type SweepBenchReport struct {
+	// Suite names the benchmark grid ("sweep" or "pdb"); empty in
+	// reports recorded before the field existed (treated as "sweep").
+	Suite string `json:"suite,omitempty"`
 	// GoVersion, GOOS, GOARCH, GOMAXPROCS and NumCPU describe the
 	// measuring machine; absolute numbers are only comparable within
 	// one. GOMAXPROCS is always ≥ the widest workers column (SweepBench
@@ -230,6 +234,7 @@ func SweepBench(cfg Config) (*SweepBenchReport, error) {
 	}
 
 	report := &SweepBenchReport{
+		Suite:          "sweep",
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
@@ -360,6 +365,9 @@ func (r Regression) String() string {
 // regenerating the baseline on the class of machine CI uses — not
 // widening maxRegress.
 func CompareSweepBench(current, baseline *SweepBenchReport, maxRegress float64) ([]Regression, error) {
+	if current.Suite != "" && baseline.Suite != "" && current.Suite != baseline.Suite {
+		return nil, fmt.Errorf("experiments: suite mismatch: current %q vs baseline %q", current.Suite, baseline.Suite)
+	}
 	if current.Samples != baseline.Samples || current.FingerprintLen != baseline.FingerprintLen {
 		return nil, fmt.Errorf("experiments: scale mismatch: current n=%d m=%d vs baseline n=%d m=%d (compare equal -scale runs)",
 			current.Samples, current.FingerprintLen, baseline.Samples, baseline.FingerprintLen)
@@ -410,8 +418,12 @@ func (r *SweepBenchReport) WriteJSON(w io.Writer) error {
 
 // Table renders the report in the experiment-table format.
 func (r *SweepBenchReport) Table() *Table {
+	title := "Sweep hot path (BENCH_sweep)"
+	if r.Suite == "pdb" {
+		title = "PDB query layer (BENCH_pdb, per world)"
+	}
 	t := &Table{
-		Title:   "Sweep hot path (BENCH_sweep)",
+		Title:   title,
 		Columns: []string{"cell", "points", "ns/point", "allocs/point", "B/point", "reuse"},
 		Notes: []string{
 			fmt.Sprintf("%s %s/%s GOMAXPROCS=%d NumCPU=%d samples=%d m=%d",

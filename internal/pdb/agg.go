@@ -191,7 +191,7 @@ func (p *GroupPlan) Execute(ctx *RowCtx) (*Table, error) {
 		keyVals := make([]Value, len(p.Keys))
 		var kb strings.Builder
 		for i, k := range p.Keys {
-			v, err := k.Expr(row, ctx)
+			v, err := k.Expr.Eval(row, ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -214,7 +214,7 @@ func (p *GroupPlan) Execute(ctx *RowCtx) (*Table, error) {
 				g.states[i].addCountStar()
 				continue
 			}
-			v, err := a.Arg(row, ctx)
+			v, err := a.Arg.Eval(row, ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -243,6 +243,298 @@ func (p *GroupPlan) Execute(ctx *RowCtx) (*Table, error) {
 			row = append(row, st.result())
 		}
 		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// blockAggState is the vectorized form of aggState: one lane of
+// (n, sum, min, max) per world, updated with exactly aggState.add's
+// operations per world so results stay bit-identical.
+type blockAggState struct {
+	kind AggKind
+	n    []int
+	sum  []float64
+	min  []float64
+	max  []float64
+}
+
+func newBlockAggState(kind AggKind, w int) *blockAggState {
+	st := &blockAggState{
+		kind: kind,
+		n:    make([]int, w),
+		sum:  make([]float64, w),
+		min:  make([]float64, w),
+		max:  make([]float64, w),
+	}
+	for i := 0; i < w; i++ {
+		st.min[i] = math.Inf(1)
+		st.max[i] = math.Inf(-1)
+	}
+	return st
+}
+
+// addVec folds one member row's argument column into the state, over
+// the active worlds. NULL lanes are skipped; non-numeric lanes error,
+// as aggState.add does.
+func (st *blockAggState) addVec(v *Vec, mask Mask, w int) error {
+	for lane := 0; lane < w; lane++ {
+		if mask != nil && !mask[lane] {
+			continue
+		}
+		f, ok, err := v.laneFloat(lane)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		st.n[lane]++
+		st.sum[lane] += f
+		if f < st.min[lane] {
+			st.min[lane] = f
+		}
+		if f > st.max[lane] {
+			st.max[lane] = f
+		}
+	}
+	return nil
+}
+
+// addCountStar counts the row in every active world.
+func (st *blockAggState) addCountStar(mask Mask, w int) {
+	for lane := 0; lane < w; lane++ {
+		if mask == nil || mask[lane] {
+			st.n[lane]++
+		}
+	}
+}
+
+// resultVec renders the per-world aggregate results (aggState.result
+// lane-wise).
+func (st *blockAggState) resultVec(ctx *BlockCtx) *Vec {
+	dst := ctx.lanesVec()
+	for lane := 0; lane < ctx.W; lane++ {
+		switch st.kind {
+		case AggCount:
+			dst.setFloat(lane, float64(st.n[lane]))
+		case AggSum:
+			if st.n[lane] > 0 {
+				dst.setFloat(lane, st.sum[lane])
+			}
+		case AggAvg:
+			if st.n[lane] > 0 {
+				dst.setFloat(lane, st.sum[lane]/float64(st.n[lane]))
+			}
+		case AggMin:
+			if st.n[lane] > 0 {
+				dst.setFloat(lane, st.min[lane])
+			}
+		case AggMax:
+			if st.n[lane] > 0 {
+				dst.setFloat(lane, st.max[lane])
+			}
+		}
+	}
+	return dst
+}
+
+// ExecuteBlock implements BlockPlan. Keys and aggregate arguments
+// evaluate column-wise per row (keys first, then arguments — the
+// scalar per-row order); with deterministic keys and full masks the
+// grouping itself happens once per block and each aggregate folds a
+// whole world column per member row. World-varying keys or masked
+// inputs fall back to scalar grouping per world over the already-
+// evaluated columns (no re-execution, no re-draws).
+func (p *GroupPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	in, err := executePlanBlock(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	nk, na := len(p.Keys), len(p.Aggs)
+	keyV := ctx.newRow(len(in.Rows) * nk)
+	argV := ctx.newRow(len(in.Rows) * na)
+	keysUniform := true
+	for r, row := range in.Rows {
+		m := in.rowMask(r)
+		for i, k := range p.Keys {
+			v, err := evalExprBlock(k.Expr, row, m, ctx)
+			if err != nil {
+				return nil, err
+			}
+			keyV[r*nk+i] = v
+			if !v.uniform {
+				keysUniform = false
+			}
+		}
+		for j, a := range p.Aggs {
+			if a.Arg == nil {
+				continue
+			}
+			v, err := evalExprBlock(a.Arg, row, m, ctx)
+			if err != nil {
+				return nil, err
+			}
+			argV[r*na+j] = v
+		}
+	}
+	if nk > 0 && (!keysUniform || in.masked()) {
+		return p.groupPerWorld(in, keyV, argV, ctx)
+	}
+
+	// Native path: grouping is world-invariant (no keys, or uniform
+	// keys over unmasked rows), so group discovery runs once and the
+	// aggregates are pure column folds.
+	type blockGroup struct {
+		keyVals []Value
+		states  []*blockAggState
+	}
+	newGroup := func(keyVals []Value) *blockGroup {
+		g := &blockGroup{keyVals: keyVals, states: make([]*blockAggState, na)}
+		for j, a := range p.Aggs {
+			g.states[j] = newBlockAggState(a.Kind, ctx.W)
+		}
+		return g
+	}
+	var order []*blockGroup
+	groups := make(map[string]*blockGroup)
+	for r := range in.Rows {
+		m := in.rowMask(r)
+		var g *blockGroup
+		if nk == 0 {
+			if len(order) == 0 {
+				order = append(order, newGroup(nil))
+			}
+			g = order[0]
+		} else {
+			keyVals := make([]Value, nk)
+			var kb strings.Builder
+			for i := 0; i < nk; i++ {
+				keyVals[i] = keyV[r*nk+i].u
+				kb.WriteString(keyVals[i].String())
+				kb.WriteByte('\x00')
+			}
+			key := kb.String()
+			var ok bool
+			if g, ok = groups[key]; !ok {
+				g = newGroup(keyVals)
+				groups[key] = g
+				order = append(order, g)
+			}
+		}
+		for j, a := range p.Aggs {
+			if a.Arg == nil {
+				g.states[j].addCountStar(m, ctx.W)
+				continue
+			}
+			if err := g.states[j].addVec(argV[r*na+j], m, ctx.W); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if nk == 0 && len(order) == 0 {
+		// Global aggregate over empty input still yields one row.
+		order = append(order, newGroup(nil))
+	}
+	out := &BlockTable{Schema: p.schema, Rows: make([]BlockRow, 0, len(order))}
+	for _, g := range order {
+		row := ctx.newRow(nk + na)
+		for i := 0; i < nk; i++ {
+			row[i] = ctx.uniformVec(g.keyVals[i])
+		}
+		for j, st := range g.states {
+			row[nk+j] = st.resultVec(ctx)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// groupPerWorld replicates the scalar interpreter's grouping for each
+// world over the pre-evaluated key and argument columns: first-
+// appearance order among that world's active rows, scalar aggState
+// updates, and a positional gather of the per-world group lists into
+// a masked block table.
+func (p *GroupPlan) groupPerWorld(in *BlockTable, keyV, argV []*Vec, ctx *BlockCtx) (*BlockTable, error) {
+	nk, na := len(p.Keys), len(p.Aggs)
+	type pwGroup struct {
+		keyVals []Value
+		states  []*aggState
+	}
+	worldGroups := make([][]*pwGroup, ctx.W)
+	maxG := 0
+	for w := 0; w < ctx.W; w++ {
+		var order []*pwGroup
+		groups := make(map[string]*pwGroup)
+		for r := range in.Rows {
+			if m := in.rowMask(r); m != nil && !m[w] {
+				continue
+			}
+			keyVals := make([]Value, nk)
+			var kb strings.Builder
+			for i := 0; i < nk; i++ {
+				keyVals[i] = keyV[r*nk+i].Lane(w)
+				kb.WriteString(keyVals[i].String())
+				kb.WriteByte('\x00')
+			}
+			key := kb.String()
+			g, ok := groups[key]
+			if !ok {
+				g = &pwGroup{keyVals: keyVals, states: make([]*aggState, na)}
+				for j, a := range p.Aggs {
+					g.states[j] = newAggState(a.Kind)
+				}
+				groups[key] = g
+				order = append(order, g)
+			}
+			for j, a := range p.Aggs {
+				if a.Arg == nil {
+					g.states[j].addCountStar()
+					continue
+				}
+				if err := g.states[j].add(argV[r*na+j].Lane(w)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		worldGroups[w] = order
+		if len(order) > maxG {
+			maxG = len(order)
+		}
+	}
+	out := &BlockTable{Schema: p.schema, Rows: make([]BlockRow, maxG)}
+	sels := make([]Mask, maxG)
+	anyMask := false
+	for k := 0; k < maxG; k++ {
+		row := ctx.newRow(nk + na)
+		for c := range row {
+			row[c] = ctx.lanesVec()
+		}
+		m := ctx.newMask(nil)
+		full := true
+		for w := 0; w < ctx.W; w++ {
+			if k >= len(worldGroups[w]) {
+				m[w] = false
+				full = false
+				continue
+			}
+			g := worldGroups[w][k]
+			for i := 0; i < nk; i++ {
+				row[i].setLane(w, g.keyVals[i])
+			}
+			for j, st := range g.states {
+				row[nk+j].setLane(w, st.result())
+			}
+		}
+		out.Rows[k] = row
+		if full {
+			sels[k] = nil
+		} else {
+			sels[k] = m
+			anyMask = true
+		}
+	}
+	if anyMask {
+		out.Sel = sels
 	}
 	return out, nil
 }

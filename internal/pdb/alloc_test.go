@@ -1,0 +1,114 @@
+package pdb
+
+import (
+	"testing"
+
+	"jigsaw/internal/blackbox"
+)
+
+// The columnar hot path must be near-allocation-free per world at
+// steady state: block contexts, vectors, masks and flattened outputs
+// all recycle through pools and arenas, so a run's allocations are a
+// per-run constant (result accumulators, summaries, seed vector) plus
+// noise — nothing proportional to worlds × rows. These budgets are
+// per *world*, measured over full RunDistribution calls with warm
+// pools, so they catch any per-world or per-row allocation sneaking
+// back into expressions, operators or the commit loop.
+
+// allocPipeline builds the scan→extend(VG)→select→aggregate pipeline
+// the budgets pin, over nRows data rows.
+func allocPipeline(t *testing.T, nRows int) Plan {
+	t.Helper()
+	db := NewDB()
+	db.Boxes.MustRegister(blackbox.UserUsage{})
+	users := blackbox.GenerateUsers(nRows, 17)
+	tbl := MustNewTable("join_week", "base", "growth", "vol")
+	for _, u := range users {
+		tbl.MustAppend(Row{Float(u.JoinWeek), Float(u.BaseCores), Float(u.GrowthRate), Float(u.Volatility)})
+	}
+	if err := db.CreateTable("users", tbl); err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := db.Scan("users")
+	env := db.Env()
+	usage := mustBindX(t, Call{"UserUsage", []Expr{
+		Param{"week"}, Col{"join_week"}, Col{"base"}, Col{"growth"}, Col{"vol"},
+	}}, scan.Schema(), env)
+	ext, err := NewExtendPlan(scan, []NamedBound{{Name: "usage", Expr: usage}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := mustBindX(t, BinOp{">", Col{"join_week"}, Lit{Float(-1)}}, ext.Schema(), env)
+	sel := &SelectPlan{Child: ext, Pred: pred, Desc: "join_week > -1"}
+	arg := mustBindX(t, Col{"usage"}, sel.Schema(), env)
+	plan, err := NewGroupPlan(sel, nil, []AggSpec{
+		{Kind: AggSum, Arg: arg, Name: "total"},
+		{Kind: AggCount, Arg: nil, Name: "n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// columnarAllocBudgetPerWorld bounds steady-state allocations per
+// world for the scan→extend→select→aggregate pipeline at paper scale
+// (1000 worlds, 200 rows). The real per-run constant is a few dozen
+// allocations — under 0.1/world — so a budget of 0.5 has headroom for
+// pool jitter while still failing loudly on any per-world regression
+// (which would show up as ≥1/world, or ≥rows/world for per-row ones).
+const columnarAllocBudgetPerWorld = 0.5
+
+func TestColumnarPipelineAllocsPerWorld(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector (sync.Pool drops puts)")
+	}
+	const worlds = 1000
+	plan := allocPipeline(t, 200)
+	params := map[string]float64{"week": 40}
+	opts := WorldsOptions{Worlds: worlds, MasterSeed: 0x5161}
+	// Warm the pools (block contexts, outputs, arena growth).
+	if _, err := RunDistribution(plan, params, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := RunDistribution(plan, params, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perWorld := allocs / worlds; perWorld > columnarAllocBudgetPerWorld {
+		t.Errorf("columnar pipeline allocates %.3f/world (%.0f/run), budget %.2f/world",
+			perWorld, allocs, columnarAllocBudgetPerWorld)
+	}
+}
+
+func TestColumnarSingleVGAllocsPerWorld(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector (sync.Pool drops puts)")
+	}
+	// The fresh-lane model query (SELECT DemandModel(@w, 52)): the
+	// whole block goes through one bulk kernel dispatch, so the run
+	// cost is dominated by the fixed result machinery.
+	const worlds = 1000
+	db := NewDB()
+	db.Boxes.MustRegister(blackbox.NewDemand())
+	bound := mustBindX(t, Call{"DemandModel", []Expr{Param{"week"}, Lit{Float(52)}}}, Schema{}, db.Env())
+	plan, err := NewExtendPlan(ValuesPlan{}, []NamedBound{{Name: "demand", Expr: bound}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]float64{"week": 20}
+	opts := WorldsOptions{Worlds: worlds, MasterSeed: 0x5161}
+	if _, err := RunDistribution(plan, params, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := RunDistribution(plan, params, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perWorld := allocs / worlds; perWorld > columnarAllocBudgetPerWorld {
+		t.Errorf("single-VG query allocates %.3f/world (%.0f/run), budget %.2f/world",
+			perWorld, allocs, columnarAllocBudgetPerWorld)
+	}
+}

@@ -1,0 +1,340 @@
+package pdb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"jigsaw/internal/blackbox"
+	"jigsaw/internal/rng"
+)
+
+// This file holds the execution state of the columnar path: the
+// per-block context (world generators, parameter bindings, scratch
+// arena), the BlockPlan capability, and the scalar fallback adapters
+// that let any third-party Plan or BoundExpr participate in a blocked
+// run unmodified.
+//
+// Determinism contract. A block covers a contiguous world range
+// [lo, hi); each world w owns generator state derived from seed σw
+// exactly as the scalar interpreter derives it, and every operator
+// consumes world w's stream in the scalar interpreter's (operator,
+// row, expression) order. Worlds are independent streams, so
+// evaluating a column world-major, row-major or expression-major all
+// interleave *across* worlds differently while each world's own
+// stream order is fixed — which is why columnar results are
+// bit-identical to per-world interpretation for any block size and
+// any worker count.
+
+// BlockPlan is the optional columnar capability of a Plan: execute
+// the operator for a whole block of worlds at once. Built-in plans
+// all implement it; plans that do not are executed per world through
+// the scalar fallback adapter.
+type BlockPlan interface {
+	Plan
+	// ExecuteBlock materializes the operator's output for every world
+	// of the block.
+	ExecuteBlock(ctx *BlockCtx) (*BlockTable, error)
+}
+
+// runFlags carries cross-block, cross-worker execution hints. The
+// fresh-stream fast lane (dispatching a VG column to BlockBox kernels
+// while world generators are still unseeded) costs a scalar replay
+// when a later draw forces materialization; once one block observes
+// that, later blocks skip the lane. The flag is purely a performance
+// hint — both lanes are bit-identical — so a benign race between
+// workers is acceptable.
+type runFlags struct {
+	freshOff atomic.Bool
+}
+
+// deferredDraw records a VG column evaluated through the fresh-stream
+// fast lane: if the block later needs live per-world generators, the
+// draw is replayed against them so stream positions match the scalar
+// interpreter's.
+type deferredDraw struct {
+	box  blackbox.Box
+	args []float64
+}
+
+// BlockCtx carries per-block evaluation state: the block's world
+// seeds and generators, the parameter bindings, and the scratch arena
+// every operator allocates from. A BlockCtx is single-goroutine state;
+// the worlds layer pools one per worker.
+type BlockCtx struct {
+	// W is the number of worlds in this block.
+	W int
+	// Seeds holds the block's world seeds (σ_lo … σ_hi−1).
+	Seeds []uint64
+	// Rands holds the per-world generators; they are materialized
+	// lazily (see materialize) so blocks whose only draws go through
+	// the fresh-stream fast lane never seed them at all.
+	Rands []rng.Rand
+	// Params holds @parameter values.
+	Params map[string]float64
+
+	// live reports whether Rands carries the worlds' current stream
+	// state; until then generators are logically "freshly seeded but
+	// not yet constructed".
+	live     bool
+	deferred *deferredDraw
+	flags    *runFlags
+
+	// pcache is the bind-time parameter slot cache (see expr.go).
+	pcache []pcached
+
+	// Scratch arena: free lists reset per block, so steady-state
+	// blocks allocate nothing.
+	vecs      []*Vec
+	vecsUsed  int
+	masks     []Mask
+	masksUsed int
+	rowPtrs   []*Vec // bump chunk for BlockRow backing
+	floatBuf  []float64
+	argVecs   []*Vec
+	scalarRow Row
+	scalarCtx RowCtx
+}
+
+// reset prepares the context for a new block over seeds (one world
+// per seed), reusing all scratch capacity.
+func (c *BlockCtx) reset(seeds []uint64, params map[string]float64, flags *runFlags) {
+	c.W = len(seeds)
+	c.Seeds = seeds
+	c.Params = params
+	c.live = false
+	c.deferred = nil
+	c.flags = flags
+	c.pcache = c.pcache[:0]
+	c.vecsUsed = 0
+	c.masksUsed = 0
+	c.rowPtrs = c.rowPtrs[:0]
+	if cap(c.Rands) < c.W {
+		c.Rands = make([]rng.Rand, c.W)
+	}
+	c.Rands = c.Rands[:c.W]
+	c.scalarCtx = RowCtx{Params: params}
+}
+
+// materialize seeds the per-world generators and replays any deferred
+// fresh-lane draw, bringing Rands to the exact state the scalar
+// interpreter would hold at this point of each world's execution.
+func (c *BlockCtx) materialize() {
+	if c.live {
+		return
+	}
+	for w := 0; w < c.W; w++ {
+		c.Rands[w].Seed(c.Seeds[w])
+	}
+	if d := c.deferred; d != nil {
+		for w := 0; w < c.W; w++ {
+			d.box.Eval(d.args, &c.Rands[w])
+		}
+		c.deferred = nil
+		// The fast lane cost a full replay: this plan has more than
+		// one draw per world, so later blocks go straight to streams.
+		if c.flags != nil {
+			c.flags.freshOff.Store(true)
+		}
+	}
+	c.live = true
+}
+
+// freshLaneOpen reports whether a VG column may still use the
+// fresh-stream fast lane: no world stream consumed yet, no draw
+// already deferred, and no earlier block demoted the lane.
+func (c *BlockCtx) freshLaneOpen() bool {
+	return !c.live && c.deferred == nil && (c.flags == nil || !c.flags.freshOff.Load())
+}
+
+// noteFreshDraw records that out was produced by box's BlockBox
+// kernel against the fresh world seeds, deferring the stream-state
+// update until someone needs live generators.
+func (c *BlockCtx) noteFreshDraw(box blackbox.Box, args []float64) {
+	saved := append([]float64(nil), args...)
+	c.deferred = &deferredDraw{box: box, args: saved}
+}
+
+// ---------- Arena ----------
+
+// newVec returns an unshaped Vec from the arena.
+func (c *BlockCtx) newVec() *Vec {
+	if c.vecsUsed < len(c.vecs) {
+		v := c.vecs[c.vecsUsed]
+		c.vecsUsed++
+		return v
+	}
+	v := &Vec{}
+	c.vecs = append(c.vecs, v)
+	c.vecsUsed++
+	return v
+}
+
+// uniformVec returns a uniform Vec holding val.
+func (c *BlockCtx) uniformVec(val Value) *Vec {
+	v := c.newVec()
+	v.uniform = true
+	v.u = val
+	return v
+}
+
+// lanesVec returns a materialized Vec with every lane NULL.
+func (c *BlockCtx) lanesVec() *Vec {
+	v := c.newVec()
+	v.uniform = false
+	v.u = Value{}
+	if cap(v.kind) < c.W {
+		v.kind = make([]uint8, c.W)
+		v.f = make([]float64, c.W)
+	} else {
+		v.kind = v.kind[:c.W]
+		v.f = v.f[:c.W]
+		for i := range v.kind {
+			v.kind[i] = 0
+		}
+	}
+	v.s = nil
+	return v
+}
+
+// newMask returns a mask copied from src, or all-active when src is
+// nil.
+func (c *BlockCtx) newMask(src Mask) Mask {
+	var m Mask
+	if c.masksUsed < len(c.masks) {
+		m = c.masks[c.masksUsed]
+		c.masksUsed++
+	} else {
+		m = make(Mask, 0, c.W)
+		c.masks = append(c.masks, m)
+		c.masksUsed++
+	}
+	if cap(m) < c.W {
+		m = make(Mask, c.W)
+		c.masks[c.masksUsed-1] = m
+	}
+	m = m[:c.W]
+	c.masks[c.masksUsed-1] = m
+	if src == nil {
+		for i := range m {
+			m[i] = true
+		}
+	} else {
+		copy(m, src)
+	}
+	return m
+}
+
+// newRow returns a BlockRow with n column slots from the arena's
+// pointer chunk.
+func (c *BlockCtx) newRow(n int) BlockRow {
+	start := len(c.rowPtrs)
+	if start+n > cap(c.rowPtrs) {
+		// Fresh chunk: older rows keep referencing the old backing
+		// array, so growing never invalidates them.
+		chunk := 1024
+		if n > chunk {
+			chunk = n
+		}
+		c.rowPtrs = make([]*Vec, 0, chunk)
+		start = 0
+	}
+	c.rowPtrs = c.rowPtrs[:start+n]
+	return c.rowPtrs[start : start+n : start+n]
+}
+
+// floats returns an n-sized float scratch slice.
+func (c *BlockCtx) floats(n int) []float64 {
+	if cap(c.floatBuf) < n {
+		c.floatBuf = make([]float64, n)
+	}
+	return c.floatBuf[:n]
+}
+
+// ---------- Scalar fallbacks ----------
+
+// executePlanBlock runs p for the whole block: natively when p
+// implements BlockPlan, otherwise per world through the fallback
+// adapter.
+func executePlanBlock(p Plan, ctx *BlockCtx) (*BlockTable, error) {
+	if bp, ok := p.(BlockPlan); ok {
+		return bp.ExecuteBlock(ctx)
+	}
+	return scalarPlanFallback(p, ctx)
+}
+
+// scalarPlanFallback executes a non-columnar plan once per world of
+// the block and re-blocks the per-world tables. It requires the
+// operator's cardinality to be world-invariant within the block; a
+// custom operator with world-dependent cardinality must run under
+// ExecScalar instead.
+func scalarPlanFallback(p Plan, ctx *BlockCtx) (*BlockTable, error) {
+	ctx.materialize()
+	var out *BlockTable
+	for w := 0; w < ctx.W; w++ {
+		ctx.scalarCtx.Rand = &ctx.Rands[w]
+		t, err := p.Execute(&ctx.scalarCtx)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = &BlockTable{Schema: t.Schema, Rows: make([]BlockRow, len(t.Rows))}
+			for r := range out.Rows {
+				row := ctx.newRow(len(t.Schema))
+				for col := range row {
+					row[col] = ctx.lanesVec()
+				}
+				out.Rows[r] = row
+			}
+		} else if len(t.Rows) != len(out.Rows) {
+			return nil, fmt.Errorf("pdb: operator %s produced %d rows in one world and %d in another within a block; "+
+				"run world-dependent custom operators with ExecScalar", p, len(t.Rows), len(out.Rows))
+		}
+		for r, tr := range t.Rows {
+			for col, v := range tr {
+				out.Rows[r][col].setLane(w, v)
+			}
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("pdb: empty block")
+	}
+	return out, nil
+}
+
+// evalExprBlock evaluates a bound expression over the block for one
+// row: natively when the expression carries a columnar evaluator,
+// otherwise per world through the scalar adapter.
+func evalExprBlock(e BoundExpr, row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error) {
+	if be, ok := e.(*boundExpr); ok && be.block != nil {
+		return be.block(row, mask, ctx)
+	}
+	return scalarExprFallback(e, row, mask, ctx)
+}
+
+// scalarExprFallback evaluates a custom BoundExpr lane by lane,
+// presenting each world with a scalar Row view of the block row. Draw
+// discipline matches the scalar interpreter exactly: only active
+// worlds evaluate, each against its own live generator.
+func scalarExprFallback(e BoundExpr, row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error) {
+	ctx.materialize()
+	if cap(ctx.scalarRow) < len(row) {
+		ctx.scalarRow = make(Row, len(row))
+	}
+	sr := ctx.scalarRow[:len(row)]
+	dst := ctx.lanesVec()
+	for w := 0; w < ctx.W; w++ {
+		if mask != nil && !mask[w] {
+			continue
+		}
+		for i, v := range row {
+			sr[i] = v.Lane(w)
+		}
+		ctx.scalarCtx.Rand = &ctx.Rands[w]
+		val, err := e.Eval(sr, &ctx.scalarCtx)
+		if err != nil {
+			return nil, err
+		}
+		dst.setLane(w, val)
+	}
+	return dst, nil
+}

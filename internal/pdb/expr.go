@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"jigsaw/internal/blackbox"
 	"jigsaw/internal/rng"
@@ -20,8 +21,44 @@ type Expr interface {
 	String() string
 }
 
-// BoundExpr evaluates against a row within a row context.
-type BoundExpr func(row Row, ctx *RowCtx) (Value, error)
+// BoundExpr is a compiled expression. Every built-in Expr binds to an
+// evaluator that carries both a tuple-at-a-time form (Eval) and a
+// world-blocked columnar form used by the vectorized executor; custom
+// implementations (see BoundFunc) only need Eval — the columnar path
+// falls back to per-world evaluation for them, so they keep working
+// unmodified.
+type BoundExpr interface {
+	// Eval evaluates against a row within a row context.
+	Eval(row Row, ctx *RowCtx) (Value, error)
+}
+
+// BoundFunc adapts a plain evaluation function to BoundExpr. It is
+// the extension point for hand-written evaluators; the columnar
+// executor runs it through the scalar fallback adapter (one call per
+// active world, against that world's live generator).
+type BoundFunc func(row Row, ctx *RowCtx) (Value, error)
+
+// Eval implements BoundExpr.
+func (f BoundFunc) Eval(row Row, ctx *RowCtx) (Value, error) { return f(row, ctx) }
+
+// scalarFn and blockFn are the two evaluation forms a built-in
+// expression compiles to.
+type (
+	scalarFn = func(Row, *RowCtx) (Value, error)
+	blockFn  = func(row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error)
+)
+
+// boundExpr pairs the forms; the executor type-asserts for the block
+// one (evalExprBlock in block.go).
+type boundExpr struct {
+	scalar scalarFn
+	block  blockFn
+}
+
+// Eval implements BoundExpr.
+func (b *boundExpr) Eval(row Row, ctx *RowCtx) (Value, error) { return b.scalar(row, ctx) }
+
+func bound(s scalarFn, b blockFn) *boundExpr { return &boundExpr{scalar: s, block: b} }
 
 // RowCtx carries per-world evaluation state: the world's generator
 // (all VG randomness) and the parameter bindings of the current point.
@@ -32,8 +69,87 @@ type RowCtx struct {
 	// which is exactly what lets Jigsaw fingerprint "the entire Monte
 	// Carlo simulation" (§3).
 	Rand *rng.Rand
-	// Params holds @parameter values.
+	// Params holds @parameter values. Parameter references resolve
+	// through a per-context slot cache filled on first touch, so the
+	// map is consulted once per parameter per RowCtx rather than once
+	// per row; callers that mutate Params must use a fresh RowCtx.
 	Params map[string]float64
+
+	// pcache is the slot cache, indexed by bind-time slot id.
+	pcache []pcached
+}
+
+// pcached is one parameter slot's resolution state.
+type pcached struct {
+	state uint8 // 0 unresolved, 1 present, 2 absent
+	val   float64
+}
+
+// paramBySlot resolves slot (falling back to one map lookup on first
+// touch). ok=false means the parameter is unbound.
+func (ctx *RowCtx) paramBySlot(slot int, name string) (float64, bool) {
+	if ctx == nil {
+		return 0, false
+	}
+	for len(ctx.pcache) <= slot {
+		ctx.pcache = append(ctx.pcache, pcached{})
+	}
+	pc := &ctx.pcache[slot]
+	if pc.state == 0 {
+		if v, ok := ctx.Params[name]; ok {
+			pc.state, pc.val = 1, v
+		} else {
+			pc.state = 2
+		}
+	}
+	return pc.val, pc.state == 1
+}
+
+// paramBySlot is the BlockCtx analogue of RowCtx.paramBySlot: one
+// resolution per parameter per block.
+func (c *BlockCtx) paramBySlot(slot int, name string) (float64, bool) {
+	for len(c.pcache) <= slot {
+		c.pcache = append(c.pcache, pcached{})
+	}
+	pc := &c.pcache[slot]
+	if pc.state == 0 {
+		if v, ok := c.Params[name]; ok {
+			pc.state, pc.val = 1, v
+		} else {
+			pc.state = 2
+		}
+	}
+	return pc.val, pc.state == 1
+}
+
+// paramSlots assigns every parameter name a process-wide slot id at
+// bind time, so evaluation contexts can cache resolutions in a dense
+// slice instead of hashing the name per row per world. The registry
+// is deliberately process-global rather than per-Env: plan lowering
+// creates a fresh Env per bind pass (subqueries recurse through
+// db.Env()), so per-Env counters would hand different names the same
+// slot within one composed plan and the dense caches would alias.
+// The cost is that slot ids — a few bytes per *distinct* name, which
+// scripts fix at parse time — accumulate for the process lifetime.
+var paramSlots struct {
+	sync.Mutex
+	ids map[string]int
+}
+
+// paramSlotID returns name's stable slot id, assigning one on first
+// use.
+func paramSlotID(name string) int {
+	paramSlots.Lock()
+	defer paramSlots.Unlock()
+	if paramSlots.ids == nil {
+		paramSlots.ids = make(map[string]int)
+	}
+	id, ok := paramSlots.ids[name]
+	if !ok {
+		id = len(paramSlots.ids)
+		paramSlots.ids[name] = id
+	}
+	return id
 }
 
 // Env carries bind-time context: the black-box registry for VG calls.
@@ -50,7 +166,10 @@ type Lit struct{ Val Value }
 // Bind implements Expr.
 func (l Lit) Bind(Schema, *Env) (BoundExpr, error) {
 	v := l.Val
-	return func(Row, *RowCtx) (Value, error) { return v, nil }, nil
+	return bound(
+		func(Row, *RowCtx) (Value, error) { return v, nil },
+		func(_ BlockRow, _ Mask, ctx *BlockCtx) (*Vec, error) { return ctx.uniformVec(v), nil },
+	), nil
 }
 
 func (l Lit) String() string { return l.Val.String() }
@@ -64,7 +183,10 @@ func (c Col) Bind(s Schema, _ *Env) (BoundExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func(row Row, _ *RowCtx) (Value, error) { return row[i], nil }, nil
+	return bound(
+		func(row Row, _ *RowCtx) (Value, error) { return row[i], nil },
+		func(row BlockRow, _ Mask, _ *BlockCtx) (*Vec, error) { return row[i], nil },
+	), nil
 }
 
 func (c Col) String() string { return c.Name }
@@ -72,16 +194,27 @@ func (c Col) String() string { return c.Name }
 // Param references a declared @parameter.
 type Param struct{ Name string }
 
-// Bind implements Expr.
+// Bind implements Expr: the name resolves to a slot id here, so
+// evaluation is a cached slot read instead of a map lookup per row.
 func (p Param) Bind(Schema, *Env) (BoundExpr, error) {
 	name := p.Name
-	return func(_ Row, ctx *RowCtx) (Value, error) {
-		v, ok := ctx.Params[name]
-		if !ok {
-			return Null(), fmt.Errorf("pdb: unbound parameter @%s", name)
-		}
-		return Float(v), nil
-	}, nil
+	slot := paramSlotID(name)
+	return bound(
+		func(_ Row, ctx *RowCtx) (Value, error) {
+			v, ok := ctx.paramBySlot(slot, name)
+			if !ok {
+				return Null(), fmt.Errorf("pdb: unbound parameter @%s", name)
+			}
+			return Float(v), nil
+		},
+		func(_ BlockRow, _ Mask, ctx *BlockCtx) (*Vec, error) {
+			v, ok := ctx.paramBySlot(slot, name)
+			if !ok {
+				return nil, fmt.Errorf("pdb: unbound parameter @%s", name)
+			}
+			return ctx.uniformVec(Float(v)), nil
+		},
+	), nil
 }
 
 func (p Param) String() string { return "@" + p.Name }
@@ -121,104 +254,241 @@ func (b BinOp) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
 }
 
-func bindArith(op string, l, r BoundExpr) BoundExpr {
-	return func(row Row, ctx *RowCtx) (Value, error) {
-		lv, err := l(row, ctx)
+// arithValues is the scalar core of arithmetic, shared by the
+// tuple-at-a-time path and the columnar uniform fast path so both
+// produce identical bits and identical errors.
+func arithValues(op string, lv, rv Value) (Value, error) {
+	if lv.IsNull() || rv.IsNull() {
+		return Null(), nil
+	}
+	lf, err := lv.AsFloat()
+	if err != nil {
+		return Null(), err
+	}
+	rf, err := rv.AsFloat()
+	if err != nil {
+		return Null(), err
+	}
+	switch op {
+	case "+":
+		return Float(lf + rf), nil
+	case "-":
+		return Float(lf - rf), nil
+	case "*":
+		return Float(lf * rf), nil
+	default: // "/"
+		if rf == 0 {
+			return Null(), nil // SQL-style: division by zero yields NULL
+		}
+		return Float(lf / rf), nil
+	}
+}
+
+// binOpBlock evaluates both children over the block and combines them
+// lane-wise with combine, taking the compute-once shortcut when both
+// sides are uniform (deterministic subtrees evaluate once per block,
+// not once per world).
+func binOpBlock(l, r BoundExpr, combine func(Value, Value) (Value, error)) blockFn {
+	return func(row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error) {
+		lv, err := evalExprBlock(l, row, mask, ctx)
 		if err != nil {
-			return Null(), err
+			return nil, err
 		}
-		rv, err := r(row, ctx)
+		rv, err := evalExprBlock(r, row, mask, ctx)
 		if err != nil {
-			return Null(), err
+			return nil, err
 		}
-		if lv.IsNull() || rv.IsNull() {
-			return Null(), nil
-		}
-		lf, err := lv.AsFloat()
-		if err != nil {
-			return Null(), err
-		}
-		rf, err := rv.AsFloat()
-		if err != nil {
-			return Null(), err
-		}
-		switch op {
-		case "+":
-			return Float(lf + rf), nil
-		case "-":
-			return Float(lf - rf), nil
-		case "*":
-			return Float(lf * rf), nil
-		default: // "/"
-			if rf == 0 {
-				return Null(), nil // SQL-style: division by zero yields NULL
+		if lv.uniform && rv.uniform {
+			val, err := combine(lv.u, rv.u)
+			if err != nil {
+				return nil, err
 			}
-			return Float(lf / rf), nil
+			return ctx.uniformVec(val), nil
 		}
+		dst := ctx.lanesVec()
+		for w := 0; w < ctx.W; w++ {
+			if mask != nil && !mask[w] {
+				continue
+			}
+			val, err := combine(lv.Lane(w), rv.Lane(w))
+			if err != nil {
+				return nil, err
+			}
+			dst.setLane(w, val)
+		}
+		return dst, nil
+	}
+}
+
+func bindArith(op string, l, r BoundExpr) BoundExpr {
+	combine := func(lv, rv Value) (Value, error) { return arithValues(op, lv, rv) }
+	scalar := func(row Row, ctx *RowCtx) (Value, error) {
+		lv, err := l.Eval(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		rv, err := r.Eval(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		return combine(lv, rv)
+	}
+	// The lane loop special-cases the all-numeric case to skip Value
+	// boxing; mixed lanes fall back to the shared scalar core.
+	blk := func(row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error) {
+		lv, err := evalExprBlock(l, row, mask, ctx)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := evalExprBlock(r, row, mask, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if lv.uniform && rv.uniform {
+			val, err := combine(lv.u, rv.u)
+			if err != nil {
+				return nil, err
+			}
+			return ctx.uniformVec(val), nil
+		}
+		dst := ctx.lanesVec()
+		for w := 0; w < ctx.W; w++ {
+			if mask != nil && !mask[w] {
+				continue
+			}
+			if lv.laneIsNull(w) || rv.laneIsNull(w) {
+				continue // lane stays NULL
+			}
+			lf, _, err := lv.laneFloat(w)
+			if err != nil {
+				return nil, err
+			}
+			rf, _, err := rv.laneFloat(w)
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "+":
+				dst.setFloat(w, lf+rf)
+			case "-":
+				dst.setFloat(w, lf-rf)
+			case "*":
+				dst.setFloat(w, lf*rf)
+			default: // "/"
+				if rf != 0 {
+					dst.setFloat(w, lf/rf)
+				}
+			}
+		}
+		return dst, nil
+	}
+	return bound(scalar, blk)
+}
+
+// compareValues is the scalar core of comparison.
+func compareValues(op string, lv, rv Value) (Value, error) {
+	if lv.IsNull() || rv.IsNull() {
+		return Null(), nil
+	}
+	if op == "=" {
+		return Bool(lv.Equal(rv)), nil
+	}
+	if op == "<>" {
+		return Bool(!lv.Equal(rv)), nil
+	}
+	c, err := lv.Compare(rv)
+	if err != nil {
+		return Null(), err
+	}
+	switch op {
+	case "<":
+		return Bool(c < 0), nil
+	case "<=":
+		return Bool(c <= 0), nil
+	case ">":
+		return Bool(c > 0), nil
+	default: // ">="
+		return Bool(c >= 0), nil
 	}
 }
 
 func bindCompare(op string, l, r BoundExpr) BoundExpr {
-	return func(row Row, ctx *RowCtx) (Value, error) {
-		lv, err := l(row, ctx)
+	combine := func(lv, rv Value) (Value, error) { return compareValues(op, lv, rv) }
+	scalar := func(row Row, ctx *RowCtx) (Value, error) {
+		lv, err := l.Eval(row, ctx)
 		if err != nil {
 			return Null(), err
 		}
-		rv, err := r(row, ctx)
+		rv, err := r.Eval(row, ctx)
 		if err != nil {
 			return Null(), err
 		}
-		if lv.IsNull() || rv.IsNull() {
-			return Null(), nil
-		}
-		if op == "=" {
-			return Bool(lv.Equal(rv)), nil
-		}
-		if op == "<>" {
-			return Bool(!lv.Equal(rv)), nil
-		}
-		c, err := lv.Compare(rv)
-		if err != nil {
-			return Null(), err
-		}
-		switch op {
-		case "<":
-			return Bool(c < 0), nil
-		case "<=":
-			return Bool(c <= 0), nil
-		case ">":
-			return Bool(c > 0), nil
-		default: // ">="
-			return Bool(c >= 0), nil
-		}
+		return combine(lv, rv)
 	}
+	return bound(scalar, binOpBlock(l, r, combine))
+}
+
+// logicValues is the scalar core of AND/OR.
+func logicValues(op string, lv, rv Value) (Value, error) {
+	if lv.IsNull() || rv.IsNull() {
+		return Null(), nil
+	}
+	lb, err := lv.AsBool()
+	if err != nil {
+		return Null(), err
+	}
+	rb, err := rv.AsBool()
+	if err != nil {
+		return Null(), err
+	}
+	if op == "AND" {
+		return Bool(lb && rb), nil
+	}
+	return Bool(lb || rb), nil
 }
 
 func bindLogic(op string, l, r BoundExpr) BoundExpr {
-	return func(row Row, ctx *RowCtx) (Value, error) {
-		lv, err := l(row, ctx)
+	combine := func(lv, rv Value) (Value, error) { return logicValues(op, lv, rv) }
+	scalar := func(row Row, ctx *RowCtx) (Value, error) {
+		lv, err := l.Eval(row, ctx)
 		if err != nil {
 			return Null(), err
 		}
-		rv, err := r(row, ctx)
+		rv, err := r.Eval(row, ctx)
 		if err != nil {
 			return Null(), err
 		}
-		if lv.IsNull() || rv.IsNull() {
-			return Null(), nil
-		}
-		lb, err := lv.AsBool()
+		return combine(lv, rv)
+	}
+	return bound(scalar, binOpBlock(l, r, combine))
+}
+
+// unaryValues applies f to a non-null value, propagating NULL.
+func unaryBlock(e BoundExpr, f func(Value) (Value, error)) blockFn {
+	return func(row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error) {
+		v, err := evalExprBlock(e, row, mask, ctx)
 		if err != nil {
-			return Null(), err
+			return nil, err
 		}
-		rb, err := rv.AsBool()
-		if err != nil {
-			return Null(), err
+		if v.uniform {
+			val, err := f(v.u)
+			if err != nil {
+				return nil, err
+			}
+			return ctx.uniformVec(val), nil
 		}
-		if op == "AND" {
-			return Bool(lb && rb), nil
+		dst := ctx.lanesVec()
+		for w := 0; w < ctx.W; w++ {
+			if mask != nil && !mask[w] {
+				continue
+			}
+			val, err := f(v.Lane(w))
+			if err != nil {
+				return nil, err
+			}
+			dst.setLane(w, val)
 		}
-		return Bool(lb || rb), nil
+		return dst, nil
 	}
 }
 
@@ -231,17 +501,24 @@ func (n Neg) Bind(s Schema, env *Env) (BoundExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func(row Row, ctx *RowCtx) (Value, error) {
-		v, err := e(row, ctx)
-		if err != nil || v.IsNull() {
-			return Null(), err
+	core := func(v Value) (Value, error) {
+		if v.IsNull() {
+			return Null(), nil
 		}
 		f, err := v.AsFloat()
 		if err != nil {
 			return Null(), err
 		}
 		return Float(-f), nil
-	}, nil
+	}
+	scalar := func(row Row, ctx *RowCtx) (Value, error) {
+		v, err := e.Eval(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		return core(v)
+	}
+	return bound(scalar, unaryBlock(e, core)), nil
 }
 
 func (n Neg) String() string { return fmt.Sprintf("(-%s)", n.E) }
@@ -255,17 +532,24 @@ func (n Not) Bind(s Schema, env *Env) (BoundExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func(row Row, ctx *RowCtx) (Value, error) {
-		v, err := e(row, ctx)
-		if err != nil || v.IsNull() {
-			return Null(), err
+	core := func(v Value) (Value, error) {
+		if v.IsNull() {
+			return Null(), nil
 		}
 		b, err := v.AsBool()
 		if err != nil {
 			return Null(), err
 		}
 		return Bool(!b), nil
-	}, nil
+	}
+	scalar := func(row Row, ctx *RowCtx) (Value, error) {
+		v, err := e.Eval(row, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		return core(v)
+	}
+	return bound(scalar, unaryBlock(e, core)), nil
 }
 
 func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
@@ -292,8 +576,8 @@ func (c Case) Bind(s Schema, env *Env) (BoundExpr, error) {
 			return nil, err
 		}
 	}
-	return func(row Row, ctx *RowCtx) (Value, error) {
-		cond, err := w(row, ctx)
+	scalar := func(row Row, ctx *RowCtx) (Value, error) {
+		cond, err := w.Eval(row, ctx)
 		if err != nil {
 			return Null(), err
 		}
@@ -304,13 +588,83 @@ func (c Case) Bind(s Schema, env *Env) (BoundExpr, error) {
 			}
 		}
 		if ok {
-			return t(row, ctx)
+			return t.Eval(row, ctx)
 		}
 		if e == nil {
 			return Null(), nil
 		}
-		return e(row, ctx)
-	}, nil
+		return e.Eval(row, ctx)
+	}
+	// The columnar form evaluates the condition once over the block,
+	// then each branch only over the worlds that take it — so branch
+	// randomness (a VG call inside THEN) is consumed in exactly the
+	// worlds the scalar interpreter would consume it in.
+	blk := func(row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error) {
+		cond, err := evalExprBlock(w, row, mask, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if cond.uniform {
+			ok := false
+			if !cond.u.IsNull() {
+				if ok, err = cond.u.AsBool(); err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				return evalExprBlock(t, row, mask, ctx)
+			}
+			if e == nil {
+				return ctx.uniformVec(Null()), nil
+			}
+			return evalExprBlock(e, row, mask, ctx)
+		}
+		thenM := ctx.newMask(nil)
+		elseM := ctx.newMask(nil)
+		anyThen, anyElse := false, false
+		for lane := 0; lane < ctx.W; lane++ {
+			if mask != nil && !mask[lane] {
+				thenM[lane], elseM[lane] = false, false
+				continue
+			}
+			ok, notNull, err := cond.laneBool(lane)
+			if err != nil {
+				return nil, err
+			}
+			taken := notNull && ok
+			thenM[lane] = taken
+			elseM[lane] = !taken
+			if taken {
+				anyThen = true
+			} else {
+				anyElse = true
+			}
+		}
+		var tv, ev *Vec
+		if anyThen {
+			if tv, err = evalExprBlock(t, row, thenM, ctx); err != nil {
+				return nil, err
+			}
+		}
+		if e != nil && anyElse {
+			if ev, err = evalExprBlock(e, row, elseM, ctx); err != nil {
+				return nil, err
+			}
+		}
+		dst := ctx.lanesVec()
+		for lane := 0; lane < ctx.W; lane++ {
+			if mask != nil && !mask[lane] {
+				continue
+			}
+			if thenM[lane] {
+				dst.setLane(lane, tv.Lane(lane))
+			} else if ev != nil {
+				dst.setLane(lane, ev.Lane(lane))
+			}
+		}
+		return dst, nil
+	}
+	return bound(scalar, blk), nil
 }
 
 func (c Case) String() string {
@@ -318,6 +672,14 @@ func (c Case) String() string {
 		return fmt.Sprintf("CASE WHEN %s THEN %s END", c.When, c.Then)
 	}
 	return fmt.Sprintf("CASE WHEN %s THEN %s ELSE %s END", c.When, c.Then, c.Else)
+}
+
+// laneIsNull reports whether world w's lane is NULL.
+func (v *Vec) laneIsNull(w int) bool {
+	if v.uniform {
+		return v.u.IsNull()
+	}
+	return Kind(v.kind[w]) == KindNull
 }
 
 // Call invokes either a scalar builtin (ABS, SQRT, MIN, MAX, POW) or a
@@ -371,8 +733,53 @@ func (c Call) Bind(s Schema, env *Env) (BoundExpr, error) {
 	return bindVGCall(box, args), nil
 }
 
+// evalArgColumns evaluates call arguments over the block with the
+// scalar interpreter's NULL discipline: a NULL argument in world w
+// stops evaluation of the remaining arguments *in that world* (they
+// are neither computed nor drawn there), so each argument column is
+// evaluated under a progressively narrowed mask. It returns the
+// narrowed mask of worlds where every argument is non-NULL, whether
+// all argument vectors are uniform, and dead=true when no active
+// world survived (the whole column is NULL; later arguments were not
+// evaluated at all, matching the scalar short-stop).
+func evalArgColumns(args []BoundExpr, vecs []*Vec, row BlockRow, mask Mask, ctx *BlockCtx) (cur Mask, allUniform, dead bool, err error) {
+	cur = mask
+	allUniform = true
+	for i, a := range args {
+		v, err := evalExprBlock(a, row, cur, ctx)
+		if err != nil {
+			return nil, false, false, err
+		}
+		vecs[i] = v
+		if v.uniform {
+			if v.u.IsNull() {
+				return cur, allUniform, true, nil
+			}
+			continue
+		}
+		allUniform = false
+		narrowed := false
+		for w := 0; w < ctx.W; w++ {
+			if cur != nil && !cur[w] {
+				continue
+			}
+			if Kind(v.kind[w]) == KindNull {
+				if !narrowed {
+					cur = ctx.newMask(cur)
+					narrowed = true
+				}
+				cur[w] = false
+			}
+		}
+		if narrowed && countSet(cur, ctx.W) == 0 {
+			return cur, allUniform, true, nil
+		}
+	}
+	return cur, allUniform, false, nil
+}
+
 func bindScalarCall(fn func([]float64) (float64, error), args []BoundExpr) BoundExpr {
-	return func(row Row, ctx *RowCtx) (Value, error) {
+	scalar := func(row Row, ctx *RowCtx) (Value, error) {
 		fs, err := evalFloatArgs(args, row, ctx)
 		if err != nil {
 			return Null(), err
@@ -386,11 +793,54 @@ func bindScalarCall(fn func([]float64) (float64, error), args []BoundExpr) Bound
 		}
 		return Float(f), nil
 	}
+	blk := func(row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error) {
+		vecs := ctx.newRow(len(args))
+		cur, allUniform, dead, err := evalArgColumns(args, vecs, row, mask, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if dead {
+			return ctx.uniformVec(Null()), nil
+		}
+		argv := ctx.floats(len(args))
+		if allUniform {
+			for i, v := range vecs {
+				if argv[i], err = v.u.AsFloat(); err != nil {
+					return nil, err
+				}
+			}
+			f, err := fn(argv)
+			if err != nil {
+				return nil, err
+			}
+			return ctx.uniformVec(Float(f)), nil
+		}
+		dst := ctx.lanesVec()
+		for w := 0; w < ctx.W; w++ {
+			if cur != nil && !cur[w] {
+				continue
+			}
+			for i, v := range vecs {
+				f, _, err := v.laneFloat(w)
+				if err != nil {
+					return nil, err
+				}
+				argv[i] = f
+			}
+			f, err := fn(argv)
+			if err != nil {
+				return nil, err
+			}
+			dst.setFloat(w, f)
+		}
+		return dst, nil
+	}
+	return bound(scalar, blk)
 }
 
 func bindVGCall(box blackbox.Box, args []BoundExpr) BoundExpr {
-	return func(row Row, ctx *RowCtx) (Value, error) {
-		if ctx.Rand == nil {
+	scalar := func(row Row, ctx *RowCtx) (Value, error) {
+		if ctx == nil || ctx.Rand == nil {
 			return Null(), fmt.Errorf("pdb: VG function %s invoked outside a world", box.Name())
 		}
 		fs, err := evalFloatArgs(args, row, ctx)
@@ -402,6 +852,68 @@ func bindVGCall(box blackbox.Box, args []BoundExpr) BoundExpr {
 		}
 		return Float(box.Eval(fs, ctx.Rand)), nil
 	}
+	// The columnar form is where the block pipeline pays off: the
+	// argument columns of a data-dependent model are uniform across
+	// worlds (they come from stored tables and parameters), so the
+	// argument decode happens once per row-block and the draws go
+	// through a kernel — BlockBox + bulk rng fills while the world
+	// streams are untouched (first draw of each world), StreamBox on
+	// live streams afterwards — instead of W interface dispatches.
+	blk := func(row BlockRow, mask Mask, ctx *BlockCtx) (*Vec, error) {
+		vecs := ctx.newRow(len(args))
+		cur, allUniform, dead, err := evalArgColumns(args, vecs, row, mask, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if dead {
+			return ctx.uniformVec(Null()), nil
+		}
+		argv := ctx.floats(len(args))
+		dst := ctx.lanesVec()
+		if allUniform {
+			for i, v := range vecs {
+				if argv[i], err = v.u.AsFloat(); err != nil {
+					return nil, err
+				}
+			}
+			if cur == nil && ctx.freshLaneOpen() {
+				// First draw of every world in the block: a freshly
+				// seeded generator per world is exactly what BlockBox
+				// kernels amortize, so dispatch straight to them (for
+				// Demand this is one bulk FillNormal over the block).
+				blackbox.AsBlock(box).EvalBlock(argv, dst.f, ctx.Seeds)
+				for w := range dst.kind {
+					dst.kind[w] = uint8(KindFloat)
+				}
+				ctx.noteFreshDraw(box, argv)
+				return dst, nil
+			}
+			ctx.materialize()
+			blackbox.EvalStream(box, argv, dst.f, ctx.Rands, cur)
+			for w := 0; w < ctx.W; w++ {
+				if cur == nil || cur[w] {
+					dst.kind[w] = uint8(KindFloat)
+				}
+			}
+			return dst, nil
+		}
+		ctx.materialize()
+		for w := 0; w < ctx.W; w++ {
+			if cur != nil && !cur[w] {
+				continue
+			}
+			for i, v := range vecs {
+				f, _, err := v.laneFloat(w)
+				if err != nil {
+					return nil, err
+				}
+				argv[i] = f
+			}
+			dst.setFloat(w, box.Eval(argv, &ctx.Rands[w]))
+		}
+		return dst, nil
+	}
+	return bound(scalar, blk)
 }
 
 // evalFloatArgs evaluates all args; a NULL argument yields (nil, nil),
@@ -409,7 +921,7 @@ func bindVGCall(box blackbox.Box, args []BoundExpr) BoundExpr {
 func evalFloatArgs(args []BoundExpr, row Row, ctx *RowCtx) ([]float64, error) {
 	fs := make([]float64, len(args))
 	for i, a := range args {
-		v, err := a(row, ctx)
+		v, err := a.Eval(row, ctx)
 		if err != nil {
 			return nil, err
 		}

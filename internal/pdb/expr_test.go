@@ -19,7 +19,7 @@ func evalExpr(t *testing.T, e Expr, s Schema, row Row, ctx *RowCtx) Value {
 	if ctx == nil {
 		ctx = &RowCtx{}
 	}
-	v, err := b(row, ctx)
+	v, err := b.Eval(row, ctx)
 	if err != nil {
 		t.Fatalf("eval %s: %v", e, err)
 	}
@@ -53,7 +53,7 @@ func TestParamRef(t *testing.T) {
 		t.Fatalf("param = %v", v)
 	}
 	b, _ := Param{"missing"}.Bind(Schema{}, nil)
-	if _, err := b(Row{}, &RowCtx{Params: map[string]float64{}}); err == nil {
+	if _, err := b.Eval(Row{}, &RowCtx{Params: map[string]float64{}}); err == nil {
 		t.Fatal("unbound param evaluated")
 	}
 }
@@ -197,7 +197,7 @@ func TestVGCall(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := &RowCtx{Rand: rng.New(5), Params: map[string]float64{"week": 10}}
-	v, err := b(Row{}, ctx)
+	v, err := b.Eval(Row{}, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestVGCallErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b(Row{}, &RowCtx{}); err == nil {
+	if _, err := b.Eval(Row{}, &RowCtx{}); err == nil {
 		t.Fatal("VG call without generator succeeded")
 	}
 }
@@ -237,7 +237,7 @@ func TestVGCallNullArgSkipsInvocation(t *testing.T) {
 	}
 	r := rng.New(1)
 	before := r.State()
-	v, err := b(Row{}, &RowCtx{Rand: r})
+	v, err := b.Eval(Row{}, &RowCtx{Rand: r})
 	if err != nil || !v.IsNull() {
 		t.Fatalf("NULL arg: %v, %v", v, err)
 	}

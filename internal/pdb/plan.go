@@ -3,11 +3,16 @@ package pdb
 import (
 	"fmt"
 	"sort"
+
+	"jigsaw/internal/pool"
 )
 
 // Plan is a query-plan node: a relational operator tree executed once
 // per possible world. Plans are built (bound) against a DB, then
-// executed with a per-world RowCtx.
+// executed with a per-world RowCtx. Built-in plans additionally
+// implement BlockPlan (ExecuteBlock), the world-blocked columnar form
+// the vectorized executor uses; custom plans without it run through
+// the per-world fallback adapter.
 type Plan interface {
 	// Schema returns the output schema.
 	Schema() Schema
@@ -29,6 +34,11 @@ func (ValuesPlan) Schema() Schema { return Schema{} }
 // Execute implements Plan.
 func (ValuesPlan) Execute(*RowCtx) (*Table, error) {
 	return &Table{Schema: Schema{}, Rows: []Row{{}}}, nil
+}
+
+// ExecuteBlock implements BlockPlan.
+func (ValuesPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	return &BlockTable{Schema: Schema{}, Rows: []BlockRow{ctx.newRow(0)}}, nil
 }
 
 func (ValuesPlan) String() string { return "Values()" }
@@ -53,6 +63,21 @@ func (s *ScanPlan) Execute(*RowCtx) (*Table, error) {
 	return &Table{Schema: s.table.Schema, Rows: s.table.Rows}, nil
 }
 
+// ExecuteBlock implements BlockPlan: stored data is deterministic, so
+// every cell blocks into a uniform Vec — no per-world storage at all.
+func (s *ScanPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	nc := len(s.table.Schema)
+	out := &BlockTable{Schema: s.table.Schema, Rows: make([]BlockRow, len(s.table.Rows))}
+	for r, src := range s.table.Rows {
+		row := ctx.newRow(nc)
+		for c := range row {
+			row[c] = ctx.uniformVec(src[c])
+		}
+		out.Rows[r] = row
+	}
+	return out, nil
+}
+
 func (s *ScanPlan) String() string { return fmt.Sprintf("Scan(%s)", s.Name) }
 
 // ---------- Unary operators ----------
@@ -75,7 +100,7 @@ func (p *SelectPlan) Execute(ctx *RowCtx) (*Table, error) {
 	}
 	out := &Table{Schema: in.Schema}
 	for _, row := range in.Rows {
-		v, err := p.Pred(row, ctx)
+		v, err := p.Pred.Eval(row, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -88,6 +113,73 @@ func (p *SelectPlan) Execute(ctx *RowCtx) (*Table, error) {
 		if keep {
 			out.Rows = append(out.Rows, row)
 		}
+	}
+	return out, nil
+}
+
+// ExecuteBlock implements BlockPlan. A predicate over deterministic
+// inputs drops or keeps each row for the whole block at once; a
+// world-varying predicate (uncertain WHERE) narrows the row's world
+// mask instead, keeping the block positional.
+func (p *SelectPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	in, err := executePlanBlock(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &BlockTable{Schema: in.Schema}
+	var sels []Mask
+	anyMask := false
+	for r, row := range in.Rows {
+		m := in.rowMask(r)
+		pv, err := evalExprBlock(p.Pred, row, m, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if pv.uniform {
+			keep := false
+			if !pv.u.IsNull() {
+				if keep, err = pv.u.AsBool(); err != nil {
+					return nil, err
+				}
+			}
+			if !keep {
+				continue
+			}
+			out.Rows = append(out.Rows, row)
+			sels = append(sels, m)
+			anyMask = anyMask || m != nil
+			continue
+		}
+		nm := ctx.newMask(nil)
+		kept := 0
+		for w := 0; w < ctx.W; w++ {
+			if m != nil && !m[w] {
+				nm[w] = false
+				continue
+			}
+			keep, notNull, err := pv.laneBool(w)
+			if err != nil {
+				return nil, err
+			}
+			nm[w] = notNull && keep
+			if nm[w] {
+				kept++
+			}
+		}
+		if kept == 0 {
+			continue // row survives in no world
+		}
+		if kept == ctx.W {
+			out.Rows = append(out.Rows, row)
+			sels = append(sels, nil)
+			continue
+		}
+		out.Rows = append(out.Rows, row)
+		sels = append(sels, nm)
+		anyMask = true
+	}
+	if anyMask {
+		out.Sel = sels
 	}
 	return out, nil
 }
@@ -137,11 +229,32 @@ func (p *ProjectPlan) Execute(ctx *RowCtx) (*Table, error) {
 	for _, row := range in.Rows {
 		nr := make(Row, len(p.Outputs))
 		for i, o := range p.Outputs {
-			if nr[i], err = o.Expr(row, ctx); err != nil {
+			if nr[i], err = o.Expr.Eval(row, ctx); err != nil {
 				return nil, err
 			}
 		}
 		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// ExecuteBlock implements BlockPlan: each output expression evaluates
+// once per row over the whole world column.
+func (p *ProjectPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	in, err := executePlanBlock(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &BlockTable{Schema: p.schema, Rows: make([]BlockRow, len(in.Rows)), Sel: in.Sel}
+	for r, row := range in.Rows {
+		m := in.rowMask(r)
+		nr := ctx.newRow(len(p.Outputs))
+		for i, o := range p.Outputs {
+			if nr[i], err = evalExprBlock(o.Expr, row, m, ctx); err != nil {
+				return nil, err
+			}
+		}
+		out.Rows[r] = nr
 	}
 	return out, nil
 }
@@ -197,13 +310,41 @@ func (p *ExtendPlan) Execute(ctx *RowCtx) (*Table, error) {
 		nr := make(Row, len(in.Schema), len(p.schema))
 		copy(nr, row)
 		for _, o := range p.Outputs {
-			v, err := o.Expr(nr, ctx)
+			v, err := o.Expr.Eval(nr, ctx)
 			if err != nil {
 				return nil, err
 			}
 			nr = append(nr, v)
 		}
 		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// ExecuteBlock implements BlockPlan. Rows extend column-wise: for
+// each row the appended expressions evaluate left to right over the
+// world column, each seeing the columns appended before it — so per
+// world, randomness is consumed in exactly the scalar interpreter's
+// (row, expression) order.
+func (p *ExtendPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	in, err := executePlanBlock(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	base := len(in.Schema)
+	out := &BlockTable{Schema: p.schema, Rows: make([]BlockRow, len(in.Rows)), Sel: in.Sel}
+	for r, row := range in.Rows {
+		m := in.rowMask(r)
+		nr := ctx.newRow(len(p.schema))
+		copy(nr, row)
+		for i, o := range p.Outputs {
+			v, err := evalExprBlock(o.Expr, nr[:base+i], m, ctx)
+			if err != nil {
+				return nil, err
+			}
+			nr[base+i] = v
+		}
+		out.Rows[r] = nr
 	}
 	return out, nil
 }
@@ -220,48 +361,227 @@ type OrderByPlan struct {
 // Schema implements Plan.
 func (p *OrderByPlan) Schema() Schema { return p.Child.Schema() }
 
-// Execute implements Plan. NULL keys sort first.
+// orderScratch is the pooled per-execution sort state: key values,
+// the index permutation, and the sorter whose pointer receiver keeps
+// sort.Stable from allocating a comparator closure per world.
+type orderScratch struct {
+	keys   []Value
+	perm   []int
+	sorter rowSorter
+}
+
+var orderPool = pool.NewPool[orderScratch](nil)
+
+// rowSorter sorts an index permutation by key value — NULLs first,
+// then ascending (or descending with Desc), ties keeping input order
+// via sort.Stable.
+type rowSorter struct {
+	keys []Value
+	perm []int
+	desc bool
+	err  *error
+}
+
+func (s *rowSorter) Len() int      { return len(s.perm) }
+func (s *rowSorter) Swap(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
+func (s *rowSorter) Less(i, j int) bool {
+	return lessKey(s.keys[s.perm[i]], s.keys[s.perm[j]], s.desc, s.err)
+}
+
+// lessKey is the ordering every sort path (scalar, columnar-uniform,
+// columnar per-world) shares: NULL keys sort first regardless of
+// direction; comparison errors latch into errp.
+func lessKey(a, b Value, desc bool, errp *error) bool {
+	if a.IsNull() {
+		return !b.IsNull()
+	}
+	if b.IsNull() {
+		return false
+	}
+	c, err := a.Compare(b)
+	if err != nil && *errp == nil {
+		*errp = err
+	}
+	if desc {
+		return c > 0
+	}
+	return c < 0
+}
+
+// Execute implements Plan. The child's rows are shared, not copied
+// (ScanPlan's contract), so sorting must never reorder or mutate the
+// child's Rows slice in place: keys are computed once into pooled
+// scratch, an index permutation is sorted, and a fresh output slice
+// is gathered through it.
 func (p *OrderByPlan) Execute(ctx *RowCtx) (*Table, error) {
 	in, err := p.Child.Execute(ctx)
 	if err != nil {
 		return nil, err
 	}
-	type keyed struct {
-		row Row
-		key Value
-	}
-	ks := make([]keyed, len(in.Rows))
+	sc := orderPool.Get()
+	defer orderPool.Put(sc)
+	sc.keys = sc.keys[:0]
+	sc.perm = sc.perm[:0]
 	for i, row := range in.Rows {
-		v, err := p.Key(row, ctx)
+		v, err := p.Key.Eval(row, ctx)
 		if err != nil {
 			return nil, err
 		}
-		ks[i] = keyed{row, v}
+		sc.keys = append(sc.keys, v)
+		sc.perm = append(sc.perm, i)
 	}
 	var sortErr error
-	sort.SliceStable(ks, func(i, j int) bool {
-		a, b := ks[i].key, ks[j].key
-		if a.IsNull() {
-			return !b.IsNull()
-		}
-		if b.IsNull() {
-			return false
-		}
-		c, err := a.Compare(b)
-		if err != nil && sortErr == nil {
-			sortErr = err
-		}
-		if p.Desc {
-			return c > 0
-		}
-		return c < 0
-	})
+	sc.sorter = rowSorter{keys: sc.keys, perm: sc.perm, desc: p.Desc, err: &sortErr}
+	sort.Stable(&sc.sorter)
 	if sortErr != nil {
 		return nil, sortErr
 	}
-	out := &Table{Schema: in.Schema, Rows: make([]Row, len(ks))}
-	for i, k := range ks {
-		out.Rows[i] = k.row
+	out := &Table{Schema: in.Schema, Rows: make([]Row, len(sc.perm))}
+	for i, idx := range sc.perm {
+		out.Rows[i] = in.Rows[idx]
+	}
+	return out, nil
+}
+
+// ExecuteBlock implements BlockPlan. With a deterministic key the
+// sort happens once for the whole block: a stable sort's output is
+// the unique order by (key, input position), so restricting the
+// globally sorted order to each world's active rows equals sorting
+// that world's rows directly — masks just ride along. World-varying
+// keys (or key columns whose kinds could make comparisons
+// world-dependent) fall back to sorting each world's lanes with the
+// exact scalar comparator.
+func (p *OrderByPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	in, err := executePlanBlock(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	keyVecs := ctx.newRow(len(in.Rows))
+	uniform := true
+	numeric, str := false, false
+	for r, row := range in.Rows {
+		v, err := evalExprBlock(p.Key, row, in.rowMask(r), ctx)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[r] = v
+		if !v.uniform {
+			uniform = false
+			continue
+		}
+		switch v.u.Kind() {
+		case KindFloat, KindBool:
+			numeric = true
+		case KindString:
+			str = true
+		}
+	}
+	if uniform && !(numeric && str) {
+		// Homogeneous deterministic keys: one stable sort serves every
+		// world (mixed numeric/string keys could error on pairs a
+		// per-world sort never compares, so they take the exact path).
+		keys := make([]Value, len(in.Rows))
+		perm := make([]int, len(in.Rows))
+		for r := range in.Rows {
+			keys[r] = keyVecs[r].u
+			perm[r] = r
+		}
+		var sortErr error
+		rs := rowSorter{keys: keys, perm: perm, desc: p.Desc, err: &sortErr}
+		sort.Stable(&rs)
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		out := &BlockTable{Schema: in.Schema, Rows: make([]BlockRow, len(perm))}
+		if in.Sel != nil {
+			out.Sel = make([]Mask, len(perm))
+		}
+		for i, idx := range perm {
+			out.Rows[i] = in.Rows[idx]
+			if in.Sel != nil {
+				out.Sel[i] = in.Sel[idx]
+			}
+		}
+		return out, nil
+	}
+	return p.executeBlockPerWorld(in, keyVecs, ctx)
+}
+
+// executeBlockPerWorld sorts each world's active rows by that world's
+// key lanes — the scalar interpreter's sort, per world — and gathers
+// the results positionally: output position k holds, for each world,
+// that world's k-th sorted row, with a mask marking worlds holding
+// fewer rows.
+func (p *OrderByPlan) executeBlockPerWorld(in *BlockTable, keyVecs []*Vec, ctx *BlockCtx) (*BlockTable, error) {
+	worldOrder := make([][]int, ctx.W)
+	keys := make([]Value, 0, len(in.Rows))
+	maxN := 0
+	for w := 0; w < ctx.W; w++ {
+		order := make([]int, 0, len(in.Rows))
+		keys = keys[:0]
+		for r := range in.Rows {
+			if m := in.rowMask(r); m != nil && !m[w] {
+				continue
+			}
+			order = append(order, len(keys))
+			keys = append(keys, keyVecs[r].Lane(w))
+		}
+		// order currently indexes into the world's compacted key list;
+		// remap to block rows after sorting.
+		rows := make([]int, 0, len(order))
+		for r := range in.Rows {
+			if m := in.rowMask(r); m != nil && !m[w] {
+				continue
+			}
+			rows = append(rows, r)
+		}
+		var sortErr error
+		rs := rowSorter{keys: keys, perm: order, desc: p.Desc, err: &sortErr}
+		sort.Stable(&rs)
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		final := make([]int, len(order))
+		for i, ki := range order {
+			final[i] = rows[ki]
+		}
+		worldOrder[w] = final
+		if len(final) > maxN {
+			maxN = len(final)
+		}
+	}
+	nc := len(in.Schema)
+	out := &BlockTable{Schema: in.Schema, Rows: make([]BlockRow, maxN)}
+	sels := make([]Mask, maxN)
+	anyMask := false
+	for k := 0; k < maxN; k++ {
+		nr := ctx.newRow(nc)
+		for c := 0; c < nc; c++ {
+			nr[c] = ctx.lanesVec()
+		}
+		m := ctx.newMask(nil)
+		full := true
+		for w := 0; w < ctx.W; w++ {
+			if k >= len(worldOrder[w]) {
+				m[w] = false
+				full = false
+				continue
+			}
+			src := worldOrder[w][k]
+			for c := 0; c < nc; c++ {
+				nr[c].setLane(w, in.Rows[src][c].Lane(w))
+			}
+		}
+		out.Rows[k] = nr
+		if full {
+			sels[k] = nil
+		} else {
+			sels[k] = m
+			anyMask = true
+		}
+	}
+	if anyMask {
+		out.Sel = sels
 	}
 	return out, nil
 }
@@ -291,6 +611,70 @@ func (p *LimitPlan) Execute(ctx *RowCtx) (*Table, error) {
 		n = 0
 	}
 	return &Table{Schema: in.Schema, Rows: in.Rows[:n]}, nil
+}
+
+// ExecuteBlock implements BlockPlan. Without masks this is a slice;
+// with masks each world keeps its own first N active rows, so the
+// per-row output masks encode world-dependent truncation.
+func (p *LimitPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	in, err := executePlanBlock(p.Child, ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := p.N
+	if n < 0 {
+		n = 0
+	}
+	if !in.masked() {
+		if n > len(in.Rows) {
+			n = len(in.Rows)
+		}
+		out := &BlockTable{Schema: in.Schema, Rows: in.Rows[:n]}
+		if in.Sel != nil {
+			out.Sel = in.Sel[:n]
+		}
+		return out, nil
+	}
+	taken := make([]int, ctx.W)
+	out := &BlockTable{Schema: in.Schema}
+	var sels []Mask
+	anyMask := false
+	for r, row := range in.Rows {
+		m := in.rowMask(r)
+		nm := ctx.newMask(nil)
+		kept, active := 0, 0
+		for w := 0; w < ctx.W; w++ {
+			if m != nil && !m[w] {
+				nm[w] = false
+				continue
+			}
+			active++
+			if taken[w] < n {
+				taken[w]++
+				nm[w] = true
+				kept++
+			} else {
+				nm[w] = false
+			}
+		}
+		if kept == 0 {
+			continue
+		}
+		out.Rows = append(out.Rows, row)
+		if kept == ctx.W {
+			sels = append(sels, nil)
+		} else if kept == active && m != nil {
+			sels = append(sels, m)
+			anyMask = true
+		} else {
+			sels = append(sels, nm)
+			anyMask = true
+		}
+	}
+	if anyMask {
+		out.Sel = sels
+	}
+	return out, nil
 }
 
 func (p *LimitPlan) String() string { return fmt.Sprintf("Limit(%d)", p.N) }
@@ -331,7 +715,7 @@ func (p *JoinPlan) Execute(ctx *RowCtx) (*Table, error) {
 			joined = append(joined, lr...)
 			joined = append(joined, rr...)
 			if p.Pred != nil {
-				v, err := p.Pred(joined, ctx)
+				v, err := p.Pred.Eval(joined, ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -347,6 +731,99 @@ func (p *JoinPlan) Execute(ctx *RowCtx) (*Table, error) {
 			}
 			out.Rows = append(out.Rows, joined)
 		}
+	}
+	return out, nil
+}
+
+// ExecuteBlock implements BlockPlan: the nested loop runs over block
+// rows (Vec pointers concatenate without copying world lanes), pair
+// masks intersect the sides' row masks, and the predicate narrows
+// them exactly like SelectPlan.
+func (p *JoinPlan) ExecuteBlock(ctx *BlockCtx) (*BlockTable, error) {
+	l, err := executePlanBlock(p.Left, ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := executePlanBlock(p.Right, ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &BlockTable{Schema: p.schema}
+	var sels []Mask
+	anyMask := false
+	for li, lr := range l.Rows {
+		lm := l.rowMask(li)
+		for ri, rr := range r.Rows {
+			rm := r.rowMask(ri)
+			m := lm
+			if rm != nil {
+				if lm == nil {
+					m = rm
+				} else {
+					nm := ctx.newMask(lm)
+					empty := true
+					for w := 0; w < ctx.W; w++ {
+						nm[w] = nm[w] && rm[w]
+						empty = empty && !nm[w]
+					}
+					if empty {
+						continue // the pair coexists in no world
+					}
+					m = nm
+				}
+			}
+			joined := ctx.newRow(len(lr) + len(rr))
+			copy(joined, lr)
+			copy(joined[len(lr):], rr)
+			if p.Pred != nil {
+				pv, err := evalExprBlock(p.Pred, joined, m, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if pv.uniform {
+					keep := false
+					if !pv.u.IsNull() {
+						if keep, err = pv.u.AsBool(); err != nil {
+							return nil, err
+						}
+					}
+					if !keep {
+						continue
+					}
+				} else {
+					nm := ctx.newMask(nil)
+					kept := 0
+					for w := 0; w < ctx.W; w++ {
+						if m != nil && !m[w] {
+							nm[w] = false
+							continue
+						}
+						keep, notNull, err := pv.laneBool(w)
+						if err != nil {
+							return nil, err
+						}
+						nm[w] = notNull && keep
+						if nm[w] {
+							kept++
+						}
+					}
+					if kept == 0 {
+						continue
+					}
+					if kept < ctx.W {
+						m = nm
+					} else {
+						m = nil
+					}
+				}
+			}
+			out.Rows = append(out.Rows, joined)
+			sels = append(sels, m)
+			anyMask = anyMask || m != nil
+		}
+	}
+	if anyMask {
+		out.Sel = sels
 	}
 	return out, nil
 }

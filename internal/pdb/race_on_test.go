@@ -1,0 +1,7 @@
+//go:build race
+
+package pdb
+
+// raceEnabled lets allocation-budget tests skip under the race
+// detector, which deliberately defeats sync.Pool reuse.
+const raceEnabled = true

@@ -1,0 +1,195 @@
+package pdb
+
+// Vec is a column of values across the worlds of one execution block:
+// the struct-of-arrays cell representation of the columnar executor
+// (DESIGN.md, "Columnar PDB execution"). A Vec is either *uniform* —
+// one Value shared by every world, the representation of all
+// deterministic data (stored tables, literals, parameters, and any
+// expression over uniform inputs) — or *materialized*, with one lane
+// per world: a kind byte plus a float64 payload (bools store 0/1) and
+// a lazily allocated string payload.
+//
+// The uniform form is what makes world-blocked execution cheap on the
+// deterministic parts of a query: a uniform Vec carries no per-world
+// storage, and operators evaluate expressions over uniform inputs
+// once per block instead of once per world — the succinct-
+// representation idea of U-relations applied to the world dimension.
+//
+// Vecs are owned by the BlockCtx arena that produced them and are
+// immutable once an operator has returned them: downstream operators
+// share Vec pointers freely and never mutate inputs (the columnar
+// analogue of ScanPlan's shared-not-copied row discipline).
+type Vec struct {
+	uniform bool
+	u       Value
+	// kind[w] discriminates lane w when materialized (KindNull zero
+	// value = NULL, so fresh lanes default to NULL).
+	kind []uint8
+	// f holds float lanes and bool lanes (0/1).
+	f []float64
+	// s holds string lanes, allocated only when one exists.
+	s []string
+}
+
+// Uniform reports whether every world shares one value.
+func (v *Vec) Uniform() bool { return v.uniform }
+
+// UniformValue returns the shared value of a uniform Vec.
+func (v *Vec) UniformValue() Value { return v.u }
+
+// Lane returns world w's value.
+func (v *Vec) Lane(w int) Value {
+	if v.uniform {
+		return v.u
+	}
+	switch Kind(v.kind[w]) {
+	case KindNull:
+		return Null()
+	case KindFloat:
+		return Float(v.f[w])
+	case KindBool:
+		return Bool(v.f[w] != 0)
+	default:
+		return Str(v.s[w])
+	}
+}
+
+// setLane stores val into world w of a materialized Vec.
+func (v *Vec) setLane(w int, val Value) {
+	v.kind[w] = uint8(val.kind)
+	switch val.kind {
+	case KindFloat:
+		v.f[w] = val.f
+	case KindBool:
+		if val.b {
+			v.f[w] = 1
+		} else {
+			v.f[w] = 0
+		}
+	case KindString:
+		if v.s == nil {
+			v.s = make([]string, len(v.kind))
+		}
+		v.s[w] = val.s
+	}
+}
+
+// setFloat stores a float lane without constructing a Value.
+func (v *Vec) setFloat(w int, f float64) {
+	v.kind[w] = uint8(KindFloat)
+	v.f[w] = f
+}
+
+// setBool stores a bool lane without constructing a Value.
+func (v *Vec) setBool(w int, b bool) {
+	v.kind[w] = uint8(KindBool)
+	if b {
+		v.f[w] = 1
+	} else {
+		v.f[w] = 0
+	}
+}
+
+// laneFloat unwraps lane w as a float with Value.AsFloat semantics
+// (bools coerce to 0/1). ok=false means NULL; a non-numeric lane
+// returns the conversion error.
+func (v *Vec) laneFloat(w int) (f float64, ok bool, err error) {
+	if v.uniform {
+		if v.u.IsNull() {
+			return 0, false, nil
+		}
+		f, err := v.u.AsFloat()
+		return f, err == nil, err
+	}
+	switch Kind(v.kind[w]) {
+	case KindNull:
+		return 0, false, nil
+	case KindFloat, KindBool:
+		return v.f[w], true, nil
+	default:
+		_, err := Str(v.s[w]).AsFloat()
+		return 0, false, err
+	}
+}
+
+// laneBool unwraps lane w as a bool with Value.AsBool semantics
+// (floats are truthy when non-zero). ok=false means NULL.
+func (v *Vec) laneBool(w int) (b bool, ok bool, err error) {
+	if v.uniform {
+		if v.u.IsNull() {
+			return false, false, nil
+		}
+		b, err := v.u.AsBool()
+		return b, err == nil, err
+	}
+	switch Kind(v.kind[w]) {
+	case KindNull:
+		return false, false, nil
+	case KindFloat, KindBool:
+		return v.f[w] != 0, true, nil
+	default:
+		_, err := Str(v.s[w]).AsBool()
+		return false, false, err
+	}
+}
+
+// Mask selects the worlds a block row exists in: nil means every
+// world, otherwise mask[w] reports row presence in world w. Masks are
+// produced by world-varying selections (WHERE over an uncertain
+// value) and are immutable once attached to a row — narrowing always
+// builds a new mask from the arena.
+type Mask []bool
+
+// countSet returns the number of active worlds under mask, out of w.
+func countSet(mask Mask, w int) int {
+	if mask == nil {
+		return w
+	}
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockRow is one positional row of a block table: one Vec per
+// column.
+type BlockRow []*Vec
+
+// BlockTable is a world-blocked columnar relation: Rows[r][c] holds
+// column c of row r across every world of the block, and Sel (when
+// non-nil) carries each row's world mask. It is the intermediate
+// representation of the columnar executor; the worlds layer flattens
+// the final BlockTable of each block into accumulator feeds.
+type BlockTable struct {
+	// Schema describes the columns.
+	Schema Schema
+	// Rows holds the positional rows.
+	Rows []BlockRow
+	// Sel is nil when every row exists in every world; otherwise
+	// Sel[r] is row r's mask (a nil entry again meaning all worlds).
+	Sel []Mask
+}
+
+// rowMask returns row r's mask (nil = all worlds).
+func (t *BlockTable) rowMask(r int) Mask {
+	if t.Sel == nil {
+		return nil
+	}
+	return t.Sel[r]
+}
+
+// masked reports whether any row carries a non-full mask.
+func (t *BlockTable) masked() bool {
+	if t.Sel == nil {
+		return false
+	}
+	for _, m := range t.Sel {
+		if m != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,13 +1,34 @@
 package pdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"jigsaw/internal/blackbox"
+	"jigsaw/internal/pool"
 	"jigsaw/internal/rng"
 	"jigsaw/internal/stats"
 )
+
+// ExecMode selects the query executor behind RunDistribution.
+type ExecMode int
+
+const (
+	// ExecColumnar (the default) runs the world-blocked columnar
+	// executor: expressions evaluate over columns of worlds, VG draws
+	// go through block kernels, and aggregation is batched.
+	ExecColumnar ExecMode = iota
+	// ExecScalar runs the reference per-world interpreter. For any
+	// fixed (BlockWorlds, Workers) it produces a bit-identical
+	// Distribution — the property the columnar tests pin — at
+	// tuple-at-a-time cost.
+	ExecScalar
+)
+
+// DefaultBlockWorlds is the default number of worlds per execution
+// block, matching the Monte Carlo engine's sample-block size.
+const DefaultBlockWorlds = 256
 
 // WorldsOptions configures Monte Carlo query execution.
 type WorldsOptions struct {
@@ -24,11 +45,29 @@ type WorldsOptions struct {
 	// HistBins adds histograms to cell summaries when KeepSamples is
 	// set.
 	HistBins int
+	// BlockWorlds is the number of worlds per execution block
+	// (default DefaultBlockWorlds). Results are bit-identical across
+	// Mode and Workers for a fixed BlockWorlds; across *different*
+	// block sizes, cell moments may differ in final-ulp rounding (the
+	// batched reduction is split-dependent, like the engine's).
+	BlockWorlds int
+	// Workers sizes the worker pool world blocks execute on (≤1 =
+	// sequential). Blocks are committed in order, so results are
+	// bit-identical for any worker count.
+	Workers int
+	// Mode selects the executor (columnar by default).
+	Mode ExecMode
 }
 
 func (o WorldsOptions) withDefaults() WorldsOptions {
 	if o.Worlds == 0 {
 		o.Worlds = 1000
+	}
+	if o.BlockWorlds <= 0 {
+		o.BlockWorlds = DefaultBlockWorlds
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -46,8 +85,9 @@ type Distribution struct {
 	Worlds int
 	// Cells holds per-(row, column) summaries.
 	Cells [][]stats.Summary
-	// KeyRows optionally carries the deterministic key values of each
-	// row (set by RunDistributionKeyed).
+	// KeyRows carries the deterministic string cells of each result
+	// row (world 0's values; such cells are carried as keys, not
+	// aggregated). Nil when the result has no string cells.
 	KeyRows []Row
 }
 
@@ -74,54 +114,352 @@ func (d *Distribution) CellByName(row int, col string) (stats.Summary, error) {
 	return d.Cell(row, i)
 }
 
-// RunDistribution executes the plan once per sampled world and
-// aggregates each numeric cell across worlds. Every world must produce
-// the same number of rows; a query whose cardinality is world-
-// dependent is not positionally alignable and is rejected (wrap it in
-// an aggregate instead).
+// blockOut is one block's flattened result: per-world row counts and
+// the lane matrix of the block's final table, the only state the
+// ordered commit needs. Both executors produce it, so accumulation is
+// shared — which is what makes their Distributions bit-identical.
+type blockOut struct {
+	err    error
+	lo     int // first world id
+	w      int // worlds in block
+	nrows  int // block-table rows (≥ per-world counts under masks)
+	ncols  int
+	schema Schema
+	counts []int // active rows per world
+	// Lane matrix, indexed (r*ncols+c)*w + lane.
+	kinds []uint8
+	vals  []float64
+	strs  []string // non-nil only when a string lane exists
+	// sel is nil when every row exists in every world, else r*w+lane.
+	sel []bool
+}
+
+var (
+	blockCtxPool = pool.NewPool[BlockCtx](nil)
+	blockOutPool = pool.NewPool[blockOut](nil)
+)
+
+// reset shapes the output for a block of w worlds starting at lo.
+func (o *blockOut) reset(lo, w int) {
+	o.err = nil
+	o.lo = lo
+	o.w = w
+	o.nrows, o.ncols = 0, 0
+	o.schema = nil
+	o.counts = o.counts[:0]
+	o.kinds = o.kinds[:0]
+	o.vals = o.vals[:0]
+	o.strs = nil
+	o.sel = nil
+}
+
+// shape sizes the lane matrix for nrows×ncols cells.
+func (o *blockOut) shape(schema Schema, nrows int) {
+	o.schema = schema
+	o.nrows, o.ncols = nrows, len(schema)
+	n := nrows * o.ncols * o.w
+	if cap(o.kinds) < n {
+		o.kinds = make([]uint8, n)
+		o.vals = make([]float64, n)
+	} else {
+		o.kinds = o.kinds[:n]
+		o.vals = o.vals[:n]
+		for i := range o.kinds {
+			o.kinds[i] = 0
+		}
+	}
+	if cap(o.counts) < o.w {
+		o.counts = make([]int, o.w)
+	} else {
+		o.counts = o.counts[:o.w]
+	}
+	for i := range o.counts {
+		o.counts[i] = nrows
+	}
+}
+
+// setStr records a string lane.
+func (o *blockOut) setStr(idx int, s string) {
+	if o.strs == nil {
+		o.strs = make([]string, len(o.kinds))
+	}
+	o.strs[idx] = s
+}
+
+// flattenBlockTable lowers the executor's final BlockTable into the
+// commit representation.
+func (o *blockOut) flattenBlockTable(bt *BlockTable, ctx *BlockCtx) {
+	o.shape(bt.Schema, len(bt.Rows))
+	w := o.w
+	for r, row := range bt.Rows {
+		for c, v := range row {
+			base := (r*o.ncols + c) * w
+			if v.uniform {
+				k := uint8(v.u.Kind())
+				switch Kind(k) {
+				case KindFloat:
+					for lane := 0; lane < w; lane++ {
+						o.kinds[base+lane] = k
+						o.vals[base+lane] = v.u.f
+					}
+				case KindBool:
+					f := 0.0
+					if v.u.b {
+						f = 1
+					}
+					for lane := 0; lane < w; lane++ {
+						o.kinds[base+lane] = k
+						o.vals[base+lane] = f
+					}
+				case KindString:
+					for lane := 0; lane < w; lane++ {
+						o.kinds[base+lane] = k
+						o.setStr(base+lane, v.u.s)
+					}
+				}
+				continue
+			}
+			copy(o.kinds[base:base+w], v.kind)
+			copy(o.vals[base:base+w], v.f)
+			if v.s != nil {
+				for lane := 0; lane < w; lane++ {
+					if Kind(v.kind[lane]) == KindString {
+						o.setStr(base+lane, v.s[lane])
+					}
+				}
+			}
+		}
+	}
+	if bt.masked() {
+		if cap(o.sel) < len(bt.Rows)*w {
+			o.sel = make([]bool, len(bt.Rows)*w)
+		} else {
+			o.sel = o.sel[:len(bt.Rows)*w]
+		}
+		for lane := 0; lane < w; lane++ {
+			o.counts[lane] = 0
+		}
+		for r := range bt.Rows {
+			m := bt.rowMask(r)
+			for lane := 0; lane < w; lane++ {
+				on := m == nil || m[lane]
+				o.sel[r*w+lane] = on
+				if on {
+					o.counts[lane]++
+				}
+			}
+		}
+	}
+}
+
+// runBlock executes one world block under the selected mode.
+func runBlock(plan Plan, params map[string]float64, opts WorldsOptions, seeds []uint64, lo int, flags *runFlags) *blockOut {
+	out := blockOutPool.Get()
+	out.reset(lo, len(seeds))
+	if opts.Mode == ExecScalar {
+		runBlockScalar(plan, params, seeds, lo, out)
+		return out
+	}
+	bctx := blockCtxPool.Get()
+	bctx.reset(seeds, params, flags)
+	bt, err := executePlanBlock(plan, bctx)
+	if err != nil {
+		out.err = fmt.Errorf("pdb: worlds %d-%d: %w", lo, lo+len(seeds)-1, err)
+	} else {
+		out.flattenBlockTable(bt, bctx)
+	}
+	blockCtxPool.Put(bctx)
+	return out
+}
+
+// runBlockScalar is the reference executor: the plan interprets once
+// per world, and the per-world tables flatten into the same commit
+// representation the columnar executor produces.
+func runBlockScalar(plan Plan, params map[string]float64, seeds []uint64, lo int, out *blockOut) {
+	w := len(seeds)
+	tables := make([]*Table, w)
+	nrows := 0
+	var r rng.Rand
+	ctx := &RowCtx{Rand: &r, Params: params}
+	for lane := 0; lane < w; lane++ {
+		r.Seed(seeds[lane])
+		t, err := plan.Execute(ctx)
+		if err != nil {
+			out.err = fmt.Errorf("pdb: world %d: %w", lo+lane, err)
+			return
+		}
+		tables[lane] = t
+		if len(t.Rows) > nrows {
+			nrows = len(t.Rows)
+		}
+	}
+	out.shape(tables[0].Schema, nrows)
+	varying := false
+	for lane, t := range tables {
+		out.counts[lane] = len(t.Rows)
+		if len(t.Rows) != nrows {
+			varying = true
+		}
+		for ri, row := range t.Rows {
+			for c, v := range row {
+				idx := (ri*out.ncols+c)*w + lane
+				out.kinds[idx] = uint8(v.kind)
+				switch v.kind {
+				case KindFloat:
+					out.vals[idx] = v.f
+				case KindBool:
+					if v.b {
+						out.vals[idx] = 1
+					}
+				case KindString:
+					out.setStr(idx, v.s)
+				}
+			}
+		}
+	}
+	if varying {
+		// Worlds produced different row counts; encode presence so the
+		// commit reports the canonical cardinality error.
+		if cap(out.sel) < nrows*w {
+			out.sel = make([]bool, nrows*w)
+		} else {
+			out.sel = out.sel[:nrows*w]
+		}
+		for ri := 0; ri < nrows; ri++ {
+			for lane := 0; lane < w; lane++ {
+				out.sel[ri*w+lane] = ri < out.counts[lane]
+			}
+		}
+	}
+}
+
+// runBlocks partitions the worlds into blocks, executes them on the
+// worker pool, and returns the outputs in block order (the first
+// failing block's error wins, deterministically).
+func runBlocks(plan Plan, params map[string]float64, opts WorldsOptions) ([]*blockOut, error) {
+	seeds := worldSeeds(opts.MasterSeed, opts.Worlds)
+	bw := opts.BlockWorlds
+	nblocks := 0
+	if opts.Worlds > 0 {
+		nblocks = (opts.Worlds + bw - 1) / bw
+	}
+	outs := make([]*blockOut, nblocks)
+	flags := &runFlags{}
+	_ = pool.ForWorker(context.Background(), nblocks, opts.Workers, func(_, b int) {
+		lo := b * bw
+		hi := lo + bw
+		if hi > opts.Worlds {
+			hi = opts.Worlds
+		}
+		outs[b] = runBlock(plan, params, opts, seeds[lo:hi], lo, flags)
+	})
+	for _, out := range outs {
+		if out.err != nil {
+			err := out.err
+			putBlockOuts(outs)
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// putBlockOuts recycles block outputs.
+func putBlockOuts(outs []*blockOut) {
+	for _, out := range outs {
+		if out != nil {
+			blockOutPool.Put(out)
+		}
+	}
+}
+
+// RunDistribution executes the plan across sampled worlds — in
+// world-blocked columnar form by default, per world under ExecScalar
+// — and aggregates each numeric cell across worlds. Every world must
+// produce the same number of rows; a query whose cardinality is
+// world-dependent is not positionally alignable and is rejected (wrap
+// it in an aggregate instead). Both executors, and any Workers
+// setting, produce bit-identical Distributions for a fixed
+// BlockWorlds.
 func RunDistribution(plan Plan, params map[string]float64, opts WorldsOptions) (*Distribution, error) {
 	if plan == nil {
 		return nil, errors.New("pdb: nil plan")
 	}
 	opts = opts.withDefaults()
-	seeds := worldSeeds(opts.MasterSeed, opts.Worlds)
+	outs, err := runBlocks(plan, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer putBlockOuts(outs)
 
-	var accs [][]*stats.Accumulator
 	var dist *Distribution
+	var accs [][]*stats.Accumulator
+	nrows := 0
+	var scratch []float64
+	var keyRows []Row
+	var rowMap []int
 
-	var r rng.Rand
-	for w := 0; w < opts.Worlds; w++ {
-		r.Seed(seeds[w])
-		ctx := &RowCtx{Rand: &r, Params: params}
-		out, err := plan.Execute(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("pdb: world %d: %w", w, err)
-		}
+	for _, out := range outs {
 		if dist == nil {
-			dist = &Distribution{Schema: out.Schema, Worlds: opts.Worlds}
-			accs = make([][]*stats.Accumulator, len(out.Rows))
+			nrows = out.counts[0]
+			dist = &Distribution{Schema: out.schema, Worlds: opts.Worlds}
+			accs = make([][]*stats.Accumulator, nrows)
 			for i := range accs {
-				accs[i] = make([]*stats.Accumulator, len(out.Schema))
+				accs[i] = make([]*stats.Accumulator, out.ncols)
 				for j := range accs[i] {
 					accs[i][j] = stats.NewAccumulator(opts.KeepSamples)
 				}
 			}
-		} else if len(out.Rows) != len(accs) {
-			return nil, fmt.Errorf("pdb: world %d produced %d rows, world 0 produced %d; "+
-				"result cardinality must be world-invariant", w, len(out.Rows), len(accs))
+			scratch = make([]float64, 0, out.w)
 		}
-		for i, row := range out.Rows {
-			for j, v := range row {
-				if v.IsNull() {
-					continue
+		for lane := 0; lane < out.w; lane++ {
+			if out.counts[lane] != nrows {
+				return nil, fmt.Errorf("pdb: world %d produced %d rows, world 0 produced %d; "+
+					"result cardinality must be world-invariant", out.lo+lane, out.counts[lane], nrows)
+			}
+		}
+		if out.sel != nil {
+			// Per-world positional compaction: result position k in
+			// world w is that world's k-th present row.
+			if cap(rowMap) < nrows*out.w {
+				rowMap = make([]int, nrows*out.w)
+			}
+			rowMap = rowMap[:nrows*out.w]
+			for lane := 0; lane < out.w; lane++ {
+				k := 0
+				for r := 0; r < out.nrows; r++ {
+					if out.sel[r*out.w+lane] {
+						rowMap[k*out.w+lane] = r
+						k++
+					}
 				}
-				f, err := v.AsFloat()
-				if err != nil {
-					// Non-numeric cells (strings) are carried as keys,
-					// not aggregated.
-					continue
+			}
+		}
+		for k := 0; k < nrows; k++ {
+			for c := 0; c < out.ncols; c++ {
+				scratch = scratch[:0]
+				for lane := 0; lane < out.w; lane++ {
+					r := k
+					if out.sel != nil {
+						r = rowMap[k*out.w+lane]
+					}
+					idx := (r*out.ncols+c)*out.w + lane
+					switch Kind(out.kinds[idx]) {
+					case KindFloat, KindBool:
+						scratch = append(scratch, out.vals[idx])
+					case KindString:
+						// Carried as a key, not aggregated.
+						if out.lo == 0 && lane == 0 {
+							if keyRows == nil {
+								keyRows = make([]Row, nrows)
+							}
+							if keyRows[k] == nil {
+								keyRows[k] = make(Row, out.ncols)
+							}
+							keyRows[k][c] = Str(out.strs[idx])
+						}
+					}
 				}
-				accs[i][j].Add(f)
+				accs[k][c].AddBlock(scratch)
 			}
 		}
 	}
@@ -129,6 +467,7 @@ func RunDistribution(plan Plan, params map[string]float64, opts WorldsOptions) (
 	if dist == nil {
 		return nil, errors.New("pdb: zero worlds requested")
 	}
+	dist.KeyRows = keyRows
 	dist.Cells = make([][]stats.Summary, len(accs))
 	for i := range accs {
 		dist.Cells[i] = make([]stats.Summary, len(accs[i]))
@@ -154,63 +493,154 @@ func worldSeeds(master uint64, n int) []uint64 {
 //
 //	SELECT SUM(VG(args...)) FROM table
 //
-// where every VG argument is deterministic per row (columns,
-// parameters, constants). Instead of executing the plan tree once per
-// world, it walks the table once, evaluating each row's argument
-// vector a single time and drawing that row's per-world samples
-// through the box's BulkEvaluator kernel. This is the column-at-a-time
-// execution a database engine brings to data-dependent models, and the
-// reason the "wrapper" beats the lightweight engine on UserSelection
-// in Fig. 7 (§6.1).
+// It is now a thin special case of the general columnar executor: the
+// source scans into uniform columns, the VG call evaluates column-at-
+// a-time per row (argument decode amortized across the block, draws
+// through the box's block/stream kernels), and the SUM folds world
+// columns — the execution shape that wins the "wrapper" its
+// UserSelection row in Fig. 7 (§6.1). Unlike the pre-columnar
+// implementation, draws follow the per-world stream discipline, so
+// results are bit-identical to per-world interpretation of the
+// equivalent plan tree.
 type BulkVGSumPlan struct {
 	// Source is the scanned table.
 	Source *Table
-	// Box is the per-row VG function; it must implement BulkEvaluator.
-	Box blackbox.BulkEvaluator
-	// Args are the VG arguments, bound against Source's schema; they
-	// are evaluated with a nil world generator and must therefore be
-	// deterministic.
+	// Box is the per-row VG function.
+	Box blackbox.Box
+	// Args are the VG arguments, bound against Source's schema.
 	Args []BoundExpr
 }
 
-// Run produces the per-world sums.
-func (p *BulkVGSumPlan) Run(params map[string]float64, opts WorldsOptions) ([]float64, error) {
+// validate checks the box/argument wiring shared by both executors.
+func (p *BulkVGSumPlan) validate() error {
 	if p.Box == nil {
-		return nil, errors.New("pdb: bulk plan without box")
+		return errors.New("pdb: bulk plan without box")
 	}
 	if len(p.Args) != p.Box.Arity() {
-		return nil, fmt.Errorf("pdb: bulk plan arity %d != box arity %d", len(p.Args), p.Box.Arity())
+		return fmt.Errorf("pdb: bulk plan arity %d != box arity %d", len(p.Args), p.Box.Arity())
+	}
+	return nil
+}
+
+// plan lowers the bulk pattern onto the general operator tree (the
+// caller has validated the wiring).
+func (p *BulkVGSumPlan) plan() (Plan, error) {
+	name := "__vg"
+	for p.Source.Schema.Has(name) {
+		name += "_"
+	}
+	ext, err := NewExtendPlan(NewScanPlan("bulk", p.Source),
+		[]NamedBound{{Name: name, Expr: bindVGCall(p.Box, p.Args)}})
+	if err != nil {
+		return nil, err
+	}
+	arg, err := (Col{Name: name}).Bind(ext.Schema(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return NewGroupPlan(ext, nil, []AggSpec{{Kind: AggSum, Arg: arg, Name: "total"}})
+}
+
+// Run produces the per-world sums (0 when every row's contribution is
+// NULL, matching SQL SUM's skip semantics as the pre-columnar
+// implementation reported them).
+//
+// Under the default columnar mode Run takes a fused fold: the
+// deterministic argument vectors resolve once per row, and each row's
+// world column streams through the box's kernel straight into the
+// sums — no intermediate block table at all. The fold consumes each
+// world's stream in exactly the order the lowered plan tree does
+// (rows outer, worlds inner, NULL rows drawing nothing), so its sums
+// are bit-identical to RunDistribution over the equivalent tree under
+// either executor — the property TestColumnarBulkVGSumBitIdentical
+// pins by running this fold against ExecScalar's generic path.
+func (p *BulkVGSumPlan) Run(params map[string]float64, opts WorldsOptions) ([]float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults()
+	if opts.Mode == ExecScalar {
+		plan, err := p.plan()
+		if err != nil {
+			return nil, err
+		}
+		outs, err := runBlocks(plan, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		defer putBlockOuts(outs)
+		sums := make([]float64, opts.Worlds)
+		for _, out := range outs {
+			for lane := 0; lane < out.w; lane++ {
+				idx := 0*out.w + lane // single row, single column
+				if Kind(out.kinds[idx]) == KindFloat {
+					sums[out.lo+lane] = out.vals[idx]
+				}
+			}
+		}
+		return sums, nil
+	}
+	arity := p.Box.Arity()
+	// Arguments are deterministic per row (columns, parameters,
+	// constants): resolve every row's vector once, outside any world.
+	ctx := &RowCtx{Params: params}
+	rows := len(p.Source.Rows)
+	argvs := make([]float64, rows*arity)
+	live := make([]bool, rows)
+	for r, row := range p.Source.Rows {
+		fs, err := evalFloatArgs(p.Args, row, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if fs == nil {
+			continue // SQL SUM skips NULL contributions (and draws nothing)
+		}
+		live[r] = true
+		copy(argvs[r*arity:(r+1)*arity], fs)
+	}
 	seeds := worldSeeds(opts.MasterSeed, opts.Worlds)
 	sums := make([]float64, opts.Worlds)
-	ctx := &RowCtx{Rand: nil, Params: params}
-	argv := make([]float64, len(p.Args))
-	for rowID, row := range p.Source.Rows {
-		null := false
-		for i, a := range p.Args {
-			v, err := a(row, ctx)
-			if err != nil {
-				return nil, err
+	bw := opts.BlockWorlds
+	nblocks := (opts.Worlds + bw - 1) / bw
+	// Each block owns the disjoint sums[lo:hi) range, so the fold is
+	// race-free and bit-identical for any worker count.
+	_ = pool.For(context.Background(), nblocks, opts.Workers, func(b int) {
+		lo := b * bw
+		hi := lo + bw
+		if hi > opts.Worlds {
+			hi = opts.Worlds
+		}
+		w := hi - lo
+		sc := bulkScratchPool.Get()
+		defer bulkScratchPool.Put(sc)
+		if cap(sc.rands) < w {
+			sc.rands = make([]rng.Rand, w)
+			sc.out = make([]float64, w)
+		}
+		rands, out := sc.rands[:w], sc.out[:w]
+		for i := range rands {
+			rands[i].Seed(seeds[lo+i])
+		}
+		for r := 0; r < rows; r++ {
+			if !live[r] {
+				continue
 			}
-			if v.IsNull() {
-				null = true
-				break
-			}
-			if argv[i], err = v.AsFloat(); err != nil {
-				return nil, err
+			blackbox.EvalStream(p.Box, argvs[r*arity:(r+1)*arity], out, rands, nil)
+			for i, v := range out {
+				sums[lo+i] += v
 			}
 		}
-		if null {
-			continue // SQL SUM skips NULL contributions
-		}
-		vals := p.Box.EvalBulk(argv, seeds, rowID)
-		for w := range sums {
-			sums[w] += vals[w]
-		}
-	}
+	})
 	return sums, nil
 }
+
+// bulkScratch is the pooled per-worker state of the fused bulk fold.
+type bulkScratch struct {
+	rands []rng.Rand
+	out   []float64
+}
+
+var bulkScratchPool = pool.NewPool[bulkScratch](nil)
 
 // RunSummary aggregates the per-world sums into a Summary, matching
 // what RunDistribution would report for the equivalent plan tree.

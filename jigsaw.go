@@ -360,6 +360,17 @@ type (
 	Distribution = pdb.Distribution
 	// WorldsOptions configures Monte Carlo query execution.
 	WorldsOptions = pdb.WorldsOptions
+	// ExecMode selects the PDB query executor (columnar or the
+	// per-world reference interpreter); both are bit-identical.
+	ExecMode = pdb.ExecMode
+)
+
+// PDB executor modes for WorldsOptions.Mode.
+const (
+	// ExecColumnar is the world-blocked columnar executor (default).
+	ExecColumnar = pdb.ExecColumnar
+	// ExecScalar is the per-world reference interpreter.
+	ExecScalar = pdb.ExecScalar
 )
 
 // NewDB returns an empty probabilistic database.
@@ -386,7 +397,10 @@ func BuildPDBPlan(stmt *sqlparse.SelectStmt, db *DB) (PDBPlan, error) {
 	return exec.BuildPDBPlan(stmt, db)
 }
 
-// RunDistribution executes a plan across sampled worlds.
+// RunDistribution executes a plan across sampled worlds — in
+// world-blocked columnar form by default (see WorldsOptions.Mode,
+// BlockWorlds and Workers); results are bit-identical across modes
+// and worker counts.
 func RunDistribution(plan PDBPlan, params map[string]float64, opts WorldsOptions) (*Distribution, error) {
 	return pdb.RunDistribution(plan, params, opts)
 }
